@@ -1,0 +1,192 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A. light vs full delta estimation inside the grouping search
+//      (§III fn.2: "a light version ... to reduce computation cost");
+//   B. base-file selector eviction variants (§IV fn.3);
+//   C. rebase-timeout sweep ("to control the number of rebases");
+//   D. anonymization M sweep for fixed N (§V: "values of M close to N
+//      significantly reduce the size of the base-file");
+//   E. grouping popular-fraction a sweep (§III: a*N popular tries).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/anonymizer.hpp"
+#include "core/simulation.hpp"
+#include "proxy/gd_cache.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace cbde;
+using util::Bytes;
+
+trace::SiteModel make_site(std::uint64_t seed = 9000) {
+  trace::SiteConfig config;
+  config.host = "www.ablate.example";
+  config.categories = {"alpha", "beta", "gamma", "delta"};
+  config.docs_per_category = 40;
+  config.seed = seed;
+  return trace::SiteModel(config);
+}
+
+core::PipelineReport run_pipeline(const trace::SiteModel& site,
+                                  const core::PipelineConfig& config,
+                                  std::size_t requests = 1500) {
+  server::OriginServer origin;
+  origin.add_site(site);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  trace::WorkloadConfig wconfig;
+  wconfig.num_requests = requests;
+  wconfig.num_users = 120;
+  core::Pipeline pipeline(origin, config, rules);
+  pipeline.process_all(trace::WorkloadGenerator(site, wconfig).generate());
+  return pipeline.report();
+}
+
+void ablation_light_vs_full() {
+  std::printf("\nA. grouping estimator: light vs full delta (cost of the search)\n");
+  const auto site = make_site();
+  for (const bool light : {true, false}) {
+    core::PipelineConfig config;
+    config.measure_latency = false;
+    config.server.grouping.light_params =
+        light ? delta::DeltaParams::light() : delta::DeltaParams::full();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = run_pipeline(site, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("  %-6s estimator: classes=%zu savings=%5.1f%%  wall=%.2fs\n",
+                light ? "light" : "full", report.num_classes,
+                report.origin_savings() * 100.0,
+                std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::printf("  (same grouping quality; the light estimator is what makes the\n"
+              "   N-try search affordable)\n");
+}
+
+void ablation_eviction() {
+  std::printf("\nB. selector eviction policy (SIV fn.3 variants)\n");
+  const auto site = make_site();
+  using Ev = core::SelectorConfig::Eviction;
+  constexpr std::pair<Ev, const char*> kPolicies[] = {
+      {Ev::kWorst, "worst"},
+      {Ev::kPeriodicRandom, "periodic-random"},
+      {Ev::kTwoSet, "two-set"}};
+  for (const auto& [policy, name] : kPolicies) {
+    core::PipelineConfig config;
+    config.measure_latency = false;
+    config.server.selector.eviction = policy;
+    config.server.selector.sample_prob = 0.3;
+    const auto report = run_pipeline(site, config);
+    std::printf("  %-16s savings=%5.1f%%  group-rebases=%llu\n", name,
+                report.origin_savings() * 100.0,
+                static_cast<unsigned long long>(report.server.group_rebases));
+  }
+}
+
+void ablation_rebase_timeout() {
+  std::printf("\nC. rebase-timeout sweep (controls rebase rate vs base-refetch cost)\n");
+  const auto site = make_site();
+  for (const long seconds : {5L, 30L, 120L, 600L}) {
+    core::PipelineConfig config;
+    config.measure_latency = false;
+    config.server.rebase_timeout = seconds * util::kSecond;
+    config.server.selector.sample_prob = 0.3;
+    const auto report = run_pipeline(site, config);
+    std::printf(
+        "  timeout=%4lds: savings=%5.1f%%  rebases=%3llu  base KB (origin+proxy)=%6.0f\n",
+        seconds, report.origin_savings() * 100.0,
+        static_cast<unsigned long long>(report.server.group_rebases +
+                                        report.server.basic_rebases),
+        cbde::bench::to_kb(report.origin_base_bytes + report.proxy_base_bytes));
+  }
+}
+
+void ablation_anonymization_m() {
+  std::printf("\nD. anonymization M sweep at N=12 (base shrinkage vs delta growth)\n");
+  trace::TemplateConfig tconfig;
+  tconfig.personal_bytes = 1600;  // heavily personalized portal
+  tconfig.private_bytes = 256;
+  const trace::DocumentTemplate tmpl(4242, tconfig);
+  const Bytes base = tmpl.generate(0, 1, 0);
+  std::vector<Bytes> pool;
+  for (std::uint64_t user = 50; user < 62; ++user) {
+    pool.push_back(tmpl.generate(0, user, 0));
+  }
+  const Bytes probe = tmpl.generate(0, 99, 0);
+  for (const std::size_t m : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{8}, std::size_t{12}}) {
+    const Bytes anon = core::anonymize_against(util::as_view(base), pool, m);
+    const auto d =
+        delta::encode(util::as_view(anon), util::as_view(probe)).delta.size();
+    std::printf("  M=%2zu: base %6zu -> %6zu bytes, delta to fresh doc %5zu bytes\n", m,
+                base.size(), anon.size(), d);
+  }
+  std::printf("  (M=0 keeps everything; M=N strips all personalization and inflates\n"
+              "   deltas -- the paper's rule of thumb N >= 2M sits in the knee)\n");
+}
+
+void ablation_popular_fraction() {
+  std::printf("\nE. grouping popular-fraction a sweep (share of tries on popular classes)\n");
+  const auto site = make_site();
+  for (const double a : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::PipelineConfig config;
+    config.measure_latency = false;
+    config.server.grouping.popular_fraction = a;
+    server::OriginServer origin;
+    origin.add_site(site);
+    http::RuleBook rules;
+    rules.add_rule(site.config().host, site.partition_rule());
+    trace::WorkloadConfig wconfig;
+    wconfig.num_requests = 1500;
+    wconfig.num_users = 120;
+    core::Pipeline pipeline(origin, config, rules);
+    pipeline.process_all(trace::WorkloadGenerator(site, wconfig).generate());
+    const auto report = pipeline.report();
+    const auto& tries = pipeline.delta_server().classes().stats().tries;
+    double mean_tries = 0;
+    for (std::size_t t = 0; t < tries.buckets(); ++t) {
+      mean_tries += static_cast<double>(t) * static_cast<double>(tries.bucket(t));
+    }
+    mean_tries /= static_cast<double>(tries.total());
+    std::printf("  a=%.2f: classes=%zu  mean tries=%.2f  savings=%5.1f%%\n", a,
+                report.num_classes, mean_tries, report.origin_savings() * 100.0);
+  }
+}
+
+void ablation_proxy_policy() {
+  std::printf("\nF. proxy replacement policy for cachable objects (paper cites\n"
+              "   greedy-dual caching [11])\n");
+  util::Rng rng(515);
+  const util::ZipfSampler zipf(500, 1.0);
+  std::vector<std::size_t> sizes(500);
+  for (auto& s : sizes) s = 1024 + rng.next_below(80 * 1024);
+
+  proxy::LruCache lru(512 * 1024);
+  proxy::GreedyDualCache gdsf(512 * 1024);
+  for (int i = 0; i < 30000; ++i) {
+    const std::size_t obj = zipf.sample(rng);
+    const std::string key = "o" + std::to_string(obj);
+    if (!lru.get(key)) lru.put(key, Bytes(sizes[obj], 'l'));
+    if (!gdsf.get(key)) gdsf.put(key, Bytes(sizes[obj], 'g'));
+  }
+  std::printf("  LRU : hit rate %.1f%%  bytes served %.1f MB\n",
+              lru.stats().hit_rate() * 100.0,
+              static_cast<double>(lru.stats().bytes_served) / 1e6);
+  std::printf("  GDSF: hit rate %.1f%%  bytes served %.1f MB\n",
+              gdsf.stats().hit_rate() * 100.0,
+              static_cast<double>(gdsf.stats().bytes_served) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  cbde::bench::print_title("Ablations over the paper's design choices");
+  ablation_light_vs_full();
+  ablation_eviction();
+  ablation_rebase_timeout();
+  ablation_anonymization_m();
+  ablation_popular_fraction();
+  ablation_proxy_policy();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// §VI-C deployment — server capacity and concurrency with the delta-server
+// integrated next to the web-server.
+//
+// Paper measurements (PIII-866, Apache 1.3.17):
+//   * plain web-server:        175-180 req/s, max 255 concurrent connections;
+//   * delta- + web-server:     ~130 req/s (delta generation is CPU-heavy),
+//                              but sustains 500+ concurrent connections
+//                              thanks to the front-end offloading effect;
+//   * delta generation:        6-8 ms for a 50-60 KB base-file,
+//                              ~8 KB raw / ~3 KB compressed deltas.
+// We first measure our actual delta-generation cost (wall clock) on the
+// same workload shape, then run the closed-loop capacity harness with the
+// paper's CPU magnitudes to reproduce the throughput and concurrency rows.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "compress/compressor.hpp"
+#include "delta/delta.hpp"
+#include "server/load.hpp"
+#include "trace/document.hpp"
+
+namespace {
+
+using namespace cbde;
+
+/// Measure real wall-clock delta generation cost on a 50-60 KB base.
+void measure_delta_cost() {
+  trace::TemplateConfig tconfig;
+  tconfig.skeleton_bytes = 48000;
+  tconfig.doc_unique_bytes = 5000;
+  const trace::DocumentTemplate tmpl(99, tconfig);
+  const auto base = tmpl.generate(0, 1, 0);
+
+  double encode_us = 0;
+  double compress_us = 0;
+  std::size_t delta_bytes = 0;
+  std::size_t wire_bytes = 0;
+  const int kIters = 50;
+  for (int i = 0; i < kIters; ++i) {
+    const auto doc = tmpl.generate(static_cast<std::uint64_t>(i % 7), 2, i * 1000);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = delta::encode(util::as_view(base), util::as_view(doc));
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto wire = compress::compress(util::as_view(result.delta));
+    const auto t2 = std::chrono::steady_clock::now();
+    encode_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    compress_us += std::chrono::duration<double, std::micro>(t2 - t1).count();
+    delta_bytes += result.delta.size();
+    wire_bytes += wire.size();
+  }
+  std::printf("delta generation, %.0f KB base-file (N=%d):\n",
+              static_cast<double>(base.size()) / 1024.0, kIters);
+  std::printf("  paper (PIII-866):  6-8 ms/delta, ~8 KB raw, ~3 KB compressed\n");
+  std::printf("  ours (this host):  %.2f ms encode + %.2f ms compress, %.1f KB raw, "
+              "%.1f KB compressed\n",
+              encode_us / kIters / 1000.0, compress_us / kIters / 1000.0,
+              static_cast<double>(delta_bytes) / kIters / 1024.0,
+              static_cast<double>(wire_bytes) / kIters / 1024.0);
+  std::printf("  (absolute times scale with the host; the capacity rows below use the\n"
+              "   paper's CPU magnitudes so the throughput shape is comparable)\n");
+}
+
+void capacity_row(const char* label, const server::LoadConfig& config,
+                  const char* paper_note) {
+  const auto result = server::run_closed_loop(config);
+  std::printf("  %-28s %8.0f req/s %10zu peak conns %9llu refused   %s\n", label,
+              result.requests_per_sec, result.peak_connections,
+              static_cast<unsigned long long>(result.refused), paper_note);
+}
+
+}  // namespace
+
+int main() {
+  using cbde::bench::print_title;
+  using cbde::bench::print_rule;
+
+  print_title(
+      "SVI-C capacity -- plain web-server vs delta-server + web-server\n"
+      "(paper: 175-180 req/s @255 conns vs ~130 req/s @500+ conns)");
+
+  measure_delta_cost();
+
+  // CPU costs on the paper's reference host: a plain dynamic request costs
+  // ~5.6 ms (=> 178 req/s); the delta pipeline adds ~2 ms of amortized delta
+  // generation (=> ~130 req/s).
+  constexpr double kPlainCpuUs = 5600;
+  constexpr double kDeltaCpuUs = 7700;
+
+  std::printf("\nfast (LAN) clients -- throughput is CPU-bound:\n");
+  {
+    server::LoadConfig plain;
+    plain.mode = server::PipelineMode::kPlain;
+    plain.num_clients = 100;
+    plain.cpu_us_per_request = kPlainCpuUs;
+    plain.response_bytes = 30 * 1024;
+    plain.client_link = netsim::LinkProfile::broadband();
+    capacity_row("plain web-server", plain, "(paper: 175-180 req/s)");
+
+    server::LoadConfig delta = plain;
+    delta.mode = server::PipelineMode::kDelta;
+    delta.cpu_us_per_request = kDeltaCpuUs;
+    delta.response_bytes = 3 * 1024;  // compressed delta
+    capacity_row("delta + web-server", delta, "(paper: ~130 req/s)");
+  }
+
+  std::printf("\nslow (modem) clients, 600 concurrent -- connection slots bind:\n");
+  {
+    server::LoadConfig plain;
+    plain.mode = server::PipelineMode::kPlain;
+    plain.num_clients = 600;
+    plain.cpu_us_per_request = kPlainCpuUs;
+    plain.response_bytes = 30 * 1024;
+    plain.client_link = netsim::LinkProfile::modem();
+    capacity_row("plain web-server", plain, "(paper: capped at 255 conns)");
+
+    server::LoadConfig delta = plain;
+    delta.mode = server::PipelineMode::kDelta;
+    delta.cpu_us_per_request = kDeltaCpuUs;
+    delta.response_bytes = 3 * 1024;
+    capacity_row("delta + web-server", delta, "(paper: sustains 500+ conns)");
+  }
+
+  print_rule();
+  std::printf(
+      "Shape check: with fast clients the delta system trades ~27%% throughput for\n"
+      "CPU (178 -> 130 req/s); with slow clients the plain server saturates its 255\n"
+      "slots and refuses connections while the delta front-end holds 500+ and\n"
+      "delivers higher goodput (small responses drain modem links 10x faster).\n");
+  return 0;
+}

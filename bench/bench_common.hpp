@@ -1,0 +1,29 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// it side by side with the published numbers. Formatting is fixed-width
+// plain text so `for b in build/bench/*; do $b; done` produces a readable
+// report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cbde::bench {
+
+inline void print_rule(std::size_t width = 78) {
+  std::string line(width, '-');
+  std::printf("%s\n", line.c_str());
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+inline double to_kb(std::uint64_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+}  // namespace cbde::bench

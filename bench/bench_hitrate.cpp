@@ -1,0 +1,123 @@
+// §I motivation — proxy-cache effectiveness with and without CBDE.
+//
+// The introduction cites Wolman et al. [18]: proxy hit rates stall "around
+// 40%" because dynamic documents are uncachable, but "if proxy-caches were
+// equipped with mechanisms that exploit redundancy from all documents,
+// static and dynamic, hit rates could have been up to 80%". This bench
+// builds a mixed static/dynamic traffic population and measures the byte
+// traffic a proxy saves (a) with stock HTTP caching only and (b) with the
+// delta-server rendering the dynamic share effectively cachable.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "compress/compressor.hpp"
+#include "core/simulation.hpp"
+#include "proxy/cache.hpp"
+
+namespace {
+
+using namespace cbde;
+using util::Bytes;
+
+}  // namespace
+
+int main() {
+  using cbde::bench::print_rule;
+  using cbde::bench::print_title;
+  using cbde::bench::to_kb;
+
+  print_title(
+      "SI motivation -- proxy effectiveness on mixed static/dynamic traffic\n"
+      "(paper cites: ~40% hit rates today, up to ~80% if dynamic redundancy\n"
+      "were exploitable)");
+
+  // Traffic mix: half the requests go to static objects (images, CSS,
+  // archived pages), half to dynamic documents.
+  trace::SiteConfig sconfig;
+  sconfig.host = "www.mixed.example";
+  sconfig.categories = {"products", "news"};
+  sconfig.docs_per_category = 60;
+  const trace::SiteModel site(sconfig);
+  server::OriginServer origin;
+  origin.add_site(site);
+  http::RuleBook rules;
+  rules.add_rule(sconfig.host, site.partition_rule());
+
+  trace::WorkloadConfig wconfig;
+  wconfig.num_requests = 4000;
+  wconfig.num_users = 150;
+  wconfig.zipf_alpha = 0.9;
+  const auto dynamic_requests = trace::WorkloadGenerator(site, wconfig).generate();
+
+  // Static objects: Zipf-popular, 8-100 KB, perfectly cachable.
+  util::Rng rng(606);
+  const util::ZipfSampler static_zipf(300, 0.9);
+  struct StaticObject {
+    std::size_t size;
+  };
+  std::vector<StaticObject> static_objects;
+  for (int i = 0; i < 300; ++i) {
+    static_objects.push_back({8192 + rng.next_below(92 * 1024)});
+  }
+
+  std::uint64_t total_bytes = 0;       // what clients consume
+  std::uint64_t stock_origin = 0;      // origin bytes, stock proxy
+  std::uint64_t cbde_origin = 0;       // origin bytes, proxy + delta-server
+  std::uint64_t requests = 0;
+  std::uint64_t stock_hits = 0;
+
+  // Stock proxy for static objects (shared by both scenarios).
+  std::map<std::size_t, bool> static_cached;
+
+  core::PipelineConfig pconfig;
+  pconfig.measure_latency = false;
+  core::Pipeline pipeline(origin, pconfig, rules);
+
+  for (const auto& req : dynamic_requests) {
+    // One static request interleaved per dynamic request (50/50 mix).
+    {
+      const std::size_t obj = static_zipf.sample(rng);
+      const std::size_t size = static_objects[obj].size;
+      total_bytes += size;
+      ++requests;
+      if (static_cached[obj]) {
+        ++stock_hits;  // proxy hit in both scenarios
+      } else {
+        static_cached[obj] = true;
+        stock_origin += size;
+        cbde_origin += size;
+      }
+    }
+    // The dynamic request.
+    const auto doc = origin.document(req.url, req.user_id, req.time);
+    total_bytes += doc->size();
+    ++requests;
+    stock_origin += doc->size();  // stock proxy: dynamic = uncachable miss
+    pipeline.process(req.user_id, req.url, req.time);
+  }
+  const auto report = pipeline.report();
+  cbde_origin += report.server.wire_bytes + report.origin_base_bytes;
+
+  const double stock_savings =
+      1.0 - static_cast<double>(stock_origin) / static_cast<double>(total_bytes);
+  const double cbde_savings =
+      1.0 - static_cast<double>(cbde_origin) / static_cast<double>(total_bytes);
+
+  std::printf("requests (50%% static / 50%% dynamic)   %llu\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("client-consumed bytes                  %.0f KB\n", to_kb(total_bytes));
+  print_rule(64);
+  std::printf("%-34s %12s %12s\n", "", "stock proxy", "+ CBDE");
+  std::printf("%-34s %9.0f KB %9.0f KB\n", "origin traffic", to_kb(stock_origin),
+              to_kb(cbde_origin));
+  std::printf("%-34s %11.1f%% %11.1f%%\n", "traffic eliminated", stock_savings * 100.0,
+              cbde_savings * 100.0);
+  std::printf(
+      "\nShape check: stock proxy eliminates ~40%% of traffic (static share only);\n"
+      "with class-based delta-encoding the eliminated share climbs to ~80%%+\n"
+      "(paper's cited ceiling once dynamic redundancy is exploitable).\n");
+  const bool ok = stock_savings > 0.25 && stock_savings < 0.55 && cbde_savings > 0.70;
+  std::printf("%s\n", ok ? "shape OK" : "SHAPE CHECK FAILED");
+  return ok ? 0 : 1;
+}

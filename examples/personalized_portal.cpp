@@ -1,0 +1,88 @@
+// Personalized portal (the paper's my.yahoo.com case) with anonymization.
+//
+// Personalization is what breaks basic delta-encoding: the server would
+// need one base-file per user per page. Class-based delta-encoding stores
+// one base-file per class — but that base is shared across users, so §V's
+// anonymization must scrub private data (credit card digits, session
+// tokens) before the base is published. This example walks the process
+// explicitly and proves the published base leaks nothing.
+//
+//   $ ./personalized_portal
+#include <cstdio>
+#include <string>
+
+#include "core/anonymizer.hpp"
+#include "core/delta_server.hpp"
+#include "trace/document.hpp"
+#include "trace/site.hpp"
+
+int main() {
+  using namespace cbde;
+
+  // A heavily personalized portal page: every user sees their own
+  // recommendations and (embedded by a careless app) a private payload.
+  trace::TemplateConfig tconfig;
+  tconfig.personal_bytes = 1500;
+  tconfig.private_bytes = 160;
+  trace::SiteConfig sconfig;
+  sconfig.host = "my.portal.example";
+  sconfig.categories = {"frontpage"};
+  sconfig.docs_per_category = 4;
+  sconfig.doc_template = tconfig;
+  const trace::SiteModel portal(sconfig);
+
+  http::RuleBook rules;
+  rules.add_rule(sconfig.host, portal.partition_rule());
+
+  core::DeltaServerConfig config;
+  config.anonymizer.min_common = 2;   // M: chunk kept if >= 2 users share it
+  config.anonymizer.required_docs = 6;  // N: rule of thumb N >= 2M
+  core::DeltaServer server(config, std::move(rules));
+
+  const auto url = portal.url_for(trace::DocRef{0, 0});
+  std::printf("portal page: %s  (M=%zu, N=%zu)\n\n", url.to_string().c_str(),
+              config.anonymizer.min_common, config.anonymizer.required_docs);
+
+  // Users hit the page; until N distinct users have been seen, the base is
+  // not anonymized and everyone gets the full document.
+  core::ServedResponse last;
+  std::uint64_t user = 1;
+  while (true) {
+    const auto doc = portal.generate(trace::DocRef{0, 0}, user, 0);
+    last = server.serve(user, url, util::as_view(doc), static_cast<util::SimTime>(user));
+    std::printf("user %2llu -> %-6s%s\n", static_cast<unsigned long long>(user),
+                last.mode == core::ServedResponse::Mode::kDelta ? "delta" : "direct",
+                last.mode == core::ServedResponse::Mode::kDelta
+                    ? (" (" + std::to_string(last.wire_body.size()) + " bytes vs " +
+                       std::to_string(last.doc_size) + " direct)")
+                          .c_str()
+                    : "  (anonymization in progress)");
+    if (last.mode == core::ServedResponse::Mode::kDelta) break;
+    if (++user > 50) {
+      std::printf("anonymization never completed!\n");
+      return 1;
+    }
+  }
+
+  // The published base is what every client caches. Scan it for every
+  // user's private payload.
+  const auto published = server.published_base(last.class_id);
+  if (!published) return 1;
+  const std::string base_text = util::to_string(published->bytes);
+  const auto& tmpl = portal.template_for(0);
+  std::size_t leaks = 0;
+  for (std::uint64_t u = 1; u <= user; ++u) {
+    if (base_text.find(tmpl.private_payload(u)) != std::string::npos) ++leaks;
+  }
+  std::printf("\npublished base-file v%u: %zu bytes (plain base was %zu bytes)\n",
+              published->version, published->bytes.size(), last.doc_size);
+  std::printf("private payloads of %llu users found in shared base: %zu\n",
+              static_cast<unsigned long long>(user), leaks);
+  std::printf("private marker bytes present: %s\n",
+              base_text.find(std::string(trace::kPrivateMarker)) == std::string::npos
+                  ? "none"
+                  : "LEAKED");
+  std::printf("\n%s\n", leaks == 0 ? "OK: the shared base-file is anonymous."
+                                   : "FAILURE: private data leaked!");
+  return leaks == 0 ? 0 : 1;
+}

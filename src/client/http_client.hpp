@@ -1,0 +1,53 @@
+// HTTP-level client agent: the browser + Javascript/plug-in piece of §VI-C
+// speaking the X-CBDE protocol against a DeltaFrontend (directly, or through
+// any HTTP proxy in between).
+//
+// get() issues the page request, transparently fetches the advertised
+// base-file when the local store lacks the right version (that fetch is a
+// plain cachable GET, so proxies absorb it), applies the delta, and returns
+// the reconstructed document. Non-delta responses pass straight through.
+#pragma once
+
+#include <functional>
+
+#include "client/agent.hpp"
+#include "http/message.hpp"
+#include "http/url.hpp"
+
+namespace cbde::client {
+
+/// Transport abstraction: send a request, receive a response. In the
+/// simulation this is the frontend itself or an HttpProxy wrapping it.
+using Transport = std::function<http::HttpResponse(const http::HttpRequest&)>;
+
+struct HttpAgentStats {
+  std::uint64_t page_requests = 0;
+  std::uint64_t delta_responses = 0;
+  std::uint64_t direct_responses = 0;
+  std::uint64_t base_fetches = 0;
+  std::uint64_t bytes_over_wire = 0;  ///< response body bytes received
+};
+
+class HttpClientAgent {
+ public:
+  explicit HttpClientAgent(std::uint64_t user_id) : user_id_(user_id) {}
+
+  /// Build the GET request for `url`, advertising delta capability.
+  http::HttpRequest make_request(const http::Url& url) const;
+
+  /// Fetch `url` end to end and return the document bytes. Throws
+  /// http::HttpError on protocol violations and delta::CorruptDelta /
+  /// compress::CorruptInput on damaged payloads.
+  util::Bytes get(const http::Url& url, const Transport& transport);
+
+  std::uint64_t user_id() const { return user_id_; }
+  const HttpAgentStats& stats() const { return stats_; }
+  const ClientAgent& store() const { return store_; }
+
+ private:
+  std::uint64_t user_id_;
+  ClientAgent store_;
+  HttpAgentStats stats_;
+};
+
+}  // namespace cbde::client

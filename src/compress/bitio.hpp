@@ -1,0 +1,64 @@
+// Bit-level I/O for the compressed block format.
+//
+// Bits are written MSB-first within each byte; Huffman codes are emitted
+// most-significant-bit first, which makes canonical decoding a simple
+// accumulate-and-compare loop.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/expect.hpp"
+
+namespace cbde::compress {
+
+class BitWriter {
+ public:
+  explicit BitWriter(util::Bytes& out) : out_(out) {}
+
+  /// Write the low `nbits` bits of `value`, most significant first.
+  void write_bits(std::uint32_t value, int nbits);
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Write a whole byte (must be byte-aligned).
+  void write_byte(std::uint8_t byte);
+
+  bool aligned() const { return nbuffered_ == 0; }
+
+ private:
+  util::Bytes& out_;
+  std::uint32_t buffer_ = 0;  // pending bits, left-aligned within nbuffered_
+  int nbuffered_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(util::BytesView in) : in_(in) {}
+
+  /// Read `nbits` bits (MSB-first). Throws std::invalid_argument past EOF.
+  std::uint32_t read_bits(int nbits);
+
+  /// Read a single bit.
+  std::uint32_t read_bit() { return read_bits(1); }
+
+  /// Skip to the next byte boundary.
+  void align_to_byte();
+
+  /// Read a whole byte (must be byte-aligned).
+  std::uint8_t read_byte();
+
+  /// Bytes fully or partially consumed so far.
+  std::size_t position() const { return pos_; }
+
+  bool exhausted() const { return pos_ >= in_.size() && nbuffered_ == 0; }
+
+ private:
+  util::BytesView in_;
+  std::size_t pos_ = 0;
+  std::uint32_t buffer_ = 0;
+  int nbuffered_ = 0;
+};
+
+}  // namespace cbde::compress

@@ -1,0 +1,44 @@
+// Block compressor ("cbz"): LZ77 + canonical Huffman, DEFLATE-shaped.
+//
+// The paper compresses deltas with gzip and attributes roughly a 2x factor
+// of its savings to compression; this module provides that substrate from
+// scratch. The container format is our own (magic "CBZ1"), not gzip wire
+// format, but the algorithm family and achievable ratios match.
+//
+// Stream layout:
+//   "CBZ1" | uvarint original_size | crc32(original) LE |
+//   block*  where block = flags byte (bit0 final, bit1 huffman) followed by
+//           either a stored run (uvarint len + raw bytes) or Huffman tables
+//           (4-bit code lengths for 286 lit/len + 30 distance symbols) and a
+//           token bitstream terminated by the end-of-block symbol.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace cbde::compress {
+
+/// Thrown by decompress() on malformed or corrupt input.
+class CorruptInput : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CompressParams {
+  std::size_t max_chain = 128;    ///< LZ77 search effort
+  std::size_t good_enough = 64;   ///< early-exit match length
+};
+
+/// Compress `input`. Never fails; incompressible data is emitted as stored
+/// blocks with a few bytes of framing overhead.
+util::Bytes compress(util::BytesView input, const CompressParams& params = {});
+
+/// Decompress a buffer produced by compress(). Throws CorruptInput on any
+/// framing, entropy-coding or checksum error.
+util::Bytes decompress(util::BytesView input);
+
+/// Convenience: size of compress(input) without keeping the output.
+std::size_t compressed_size(util::BytesView input, const CompressParams& params = {});
+
+}  // namespace cbde::compress

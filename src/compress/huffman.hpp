@@ -1,0 +1,55 @@
+// Canonical Huffman coding.
+//
+// Code lengths are built from symbol frequencies with a standard two-queue
+// Huffman construction, then limited to kMaxCodeLen bits by a Kraft-sum
+// repair pass. Codes are assigned canonically (sorted by length, then
+// symbol), so only the length vector needs to be transmitted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitio.hpp"
+
+namespace cbde::compress {
+
+inline constexpr int kMaxCodeLen = 15;
+
+/// Build canonical code lengths for `freqs`. Symbols with zero frequency get
+/// length 0 (absent). If fewer than two symbols occur, the occurring symbol
+/// gets length 1 so the code is still decodable.
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs);
+
+/// Canonical Huffman encoder: maps symbol -> (code, length).
+class HuffmanEncoder {
+ public:
+  /// `lengths[i]` is the code length of symbol i (0 = absent).
+  explicit HuffmanEncoder(const std::vector<std::uint8_t>& lengths);
+
+  void encode(BitWriter& w, std::size_t symbol) const;
+
+  std::uint8_t length_of(std::size_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+/// Canonical Huffman decoder (per-length first-code tables).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  /// Decode one symbol. Throws std::invalid_argument on invalid code.
+  std::size_t decode(BitReader& r) const;
+
+ private:
+  // For each length L: first canonical code of that length, the index into
+  // symbols_ where codes of length L start, and the count of such codes.
+  std::uint32_t first_code_[kMaxCodeLen + 1] = {};
+  std::uint32_t first_index_[kMaxCodeLen + 1] = {};
+  std::uint32_t count_[kMaxCodeLen + 1] = {};
+  std::vector<std::uint32_t> symbols_;  // symbols sorted by (length, symbol)
+};
+
+}  // namespace cbde::compress

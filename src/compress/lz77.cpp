@@ -1,0 +1,102 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace cbde::compress {
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::vector<Token> lz77_tokenize(util::BytesView input, const Lz77Params& params) {
+  std::vector<Token> tokens;
+  const std::size_t n = input.size();
+  if (n == 0) return tokens;
+  tokens.reserve(n / 4);
+
+  // head[h] = most recent position with hash h (+1; 0 = none).
+  // prev[i % window] = previous position with the same hash as i (+1).
+  std::vector<std::uint32_t> head(kHashSize, 0);
+  std::vector<std::uint32_t> prev(kWindowSize, 0);
+
+  const std::uint8_t* data = input.data();
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      const std::uint32_t h = hash3(data + pos);
+      std::uint32_t cand = head[h];
+      std::size_t chain = params.max_chain;
+      const std::size_t limit = std::min(kMaxMatch, n - pos);
+      while (cand != 0 && chain-- > 0) {
+        const std::size_t cpos = cand - 1;
+        if (pos - cpos > kWindowSize) break;
+        const std::size_t len = match_length(data + cpos, data + pos, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - cpos;
+          if (len >= params.good_enough || len == limit) break;
+        }
+        cand = prev[cpos % kWindowSize];
+      }
+      prev[pos % kWindowSize] = head[h];
+      head[h] = static_cast<std::uint32_t>(pos + 1);
+    }
+
+    if (best_len >= kMinMatch) {
+      tokens.push_back(Token{static_cast<std::uint16_t>(best_len),
+                             static_cast<std::uint16_t>(best_dist), 0});
+      // Insert hash entries for the skipped positions so later matches can
+      // reference into this match.
+      const std::size_t end = std::min(pos + best_len, n >= kMinMatch ? n - kMinMatch + 1 : 0);
+      for (std::size_t i = pos + 1; i < end; ++i) {
+        const std::uint32_t h2 = hash3(data + i);
+        prev[i % kWindowSize] = head[h2];
+        head[h2] = static_cast<std::uint32_t>(i + 1);
+      }
+      pos += best_len;
+    } else {
+      tokens.push_back(Token{0, 0, data[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+util::Bytes lz77_reconstruct(const std::vector<Token>& tokens) {
+  util::Bytes out;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+    } else {
+      CBDE_EXPECT(t.distance >= 1 && t.distance <= out.size());
+      const std::size_t start = out.size() - t.distance;
+      for (std::size_t i = 0; i < t.length; ++i) {
+        out.push_back(out[start + i]);  // may overlap; byte-by-byte is correct
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbde::compress

@@ -1,0 +1,41 @@
+// LZ77 match finding with hash chains (the DEFLATE approach).
+//
+// Produces a token stream of literals and (length, distance) matches over a
+// sliding window; the block compressor entropy-codes the tokens.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cbde::compress {
+
+inline constexpr std::size_t kWindowSize = 32 * 1024;
+inline constexpr std::size_t kMinMatch = 3;
+inline constexpr std::size_t kMaxMatch = 258;
+
+struct Token {
+  // length == 0 means a literal; otherwise a back-reference.
+  std::uint16_t length = 0;
+  std::uint16_t distance = 0;  // 1..kWindowSize
+  std::uint8_t literal = 0;
+};
+
+struct Lz77Params {
+  /// Max hash-chain positions probed per match attempt (higher = better
+  /// ratio, slower). DEFLATE levels roughly map 8..4096.
+  std::size_t max_chain = 128;
+  /// Stop probing once a match of at least this length is found.
+  std::size_t good_enough = 64;
+};
+
+/// Tokenize `input`. Deterministic; no allocation beyond the output vector
+/// and the hash-chain tables.
+std::vector<Token> lz77_tokenize(util::BytesView input, const Lz77Params& params = {});
+
+/// Reconstruct the original bytes from a token stream (used by tests; the
+/// decompressor inlines the same logic while decoding).
+util::Bytes lz77_reconstruct(const std::vector<Token>& tokens);
+
+}  // namespace cbde::compress

@@ -1,0 +1,76 @@
+#include "core/anonymizer.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbde::core {
+namespace {
+
+util::Bytes remove_uncommon_chunks(util::BytesView base,
+                                   const std::vector<std::uint32_t>& counters,
+                                   std::size_t min_common) {
+  if (min_common == 0) return util::Bytes(base.begin(), base.end());  // M=0: no privacy
+  util::Bytes out;
+  out.reserve(base.size());
+  const std::size_t full_chunks = base.size() / delta::kAnonChunkSize;
+  for (std::size_t c = 0; c < full_chunks; ++c) {
+    if (counters[c] >= min_common) {
+      const auto off = c * delta::kAnonChunkSize;
+      util::append(out, base.subspan(off, delta::kAnonChunkSize));
+    }
+  }
+  // The trailing partial chunk (if any) is never marked by the matcher's
+  // full-containment rule, so it is dropped whenever M >= 1.
+  return out;
+}
+
+}  // namespace
+
+Anonymizer::Anonymizer(AnonymizerConfig config) : config_(config) {
+  CBDE_EXPECT(config_.required_docs >= 1);
+  CBDE_EXPECT(config_.min_common <= config_.required_docs);
+}
+
+void Anonymizer::begin(util::Bytes base, std::uint64_t owner_user) {
+  base_ = std::move(base);
+  owner_ = owner_user;
+  counters_.assign((base_.size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
+  users_.clear();
+  in_progress_ = true;
+}
+
+bool Anonymizer::observe(std::uint64_t user_id, util::BytesView doc) {
+  if (!in_progress_ || ready()) return false;
+  if (user_id == owner_ || users_.contains(user_id)) return false;
+  users_.insert(user_id);
+  const auto result = delta::encode(util::as_view(base_), doc, config_.delta_params);
+  CBDE_ASSERT(result.chunk_used.size() == counters_.size());
+  for (std::size_t c = 0; c < counters_.size(); ++c) {
+    if (result.chunk_used[c]) ++counters_[c];
+  }
+  return true;
+}
+
+util::Bytes Anonymizer::finalize() {
+  CBDE_EXPECT(ready());
+  in_progress_ = false;
+  util::Bytes out = remove_uncommon_chunks(util::as_view(base_), counters_, config_.min_common);
+  base_.clear();
+  counters_.clear();
+  users_.clear();
+  return out;
+}
+
+util::Bytes anonymize_against(util::BytesView base, const std::vector<util::Bytes>& docs,
+                              std::size_t min_common, const delta::DeltaParams& params) {
+  std::vector<std::uint32_t> counters(
+      (base.size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
+  for (const auto& doc : docs) {
+    const auto result = delta::encode(base, util::as_view(doc), params);
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      if (result.chunk_used[c]) ++counters[c];
+    }
+  }
+  return remove_uncommon_chunks(base, counters, min_common);
+}
+
+}  // namespace cbde::core

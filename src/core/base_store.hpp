@@ -1,0 +1,84 @@
+// Storage backends for published base-files.
+//
+// The whole point of class-based operation (§II) is to make server-side
+// base-file storage manageable; this module makes that storage a real,
+// pluggable component. The delta-server keeps the *current* base of each
+// class in memory (it is touched on every request) and pushes retained
+// versions into a BaseStore:
+//   * MemoryBaseStore — plain map; the default.
+//   * DiskBaseStore   — one file per (class, version) under a directory,
+//     written atomically (tmp + rename) with a checksummed header, so a
+//     crashed or tampered file is detected on read instead of corrupting
+//     client reconstructions.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace cbde::core {
+
+class BaseStore {
+ public:
+  virtual ~BaseStore() = default;
+
+  virtual void put(std::uint64_t class_id, std::uint32_t version, util::BytesView base) = 0;
+  /// nullopt if absent or (for disk) unreadable/corrupt.
+  virtual std::optional<util::Bytes> get(std::uint64_t class_id,
+                                         std::uint32_t version) const = 0;
+  virtual void erase(std::uint64_t class_id, std::uint32_t version) = 0;
+  virtual bool contains(std::uint64_t class_id, std::uint32_t version) const = 0;
+  /// Total payload bytes currently stored.
+  virtual std::size_t bytes_stored() const = 0;
+  virtual std::size_t entries() const = 0;
+};
+
+class MemoryBaseStore final : public BaseStore {
+ public:
+  void put(std::uint64_t class_id, std::uint32_t version, util::BytesView base) override;
+  std::optional<util::Bytes> get(std::uint64_t class_id,
+                                 std::uint32_t version) const override;
+  void erase(std::uint64_t class_id, std::uint32_t version) override;
+  bool contains(std::uint64_t class_id, std::uint32_t version) const override;
+  std::size_t bytes_stored() const override { return bytes_; }
+  std::size_t entries() const override { return store_.size(); }
+
+ private:
+  std::map<std::pair<std::uint64_t, std::uint32_t>, util::Bytes> store_;
+  std::size_t bytes_ = 0;
+};
+
+class DiskBaseStore final : public BaseStore {
+ public:
+  /// Creates `dir` if needed and indexes any valid base files already in it
+  /// (restart recovery). Throws std::runtime_error if the directory is
+  /// unusable.
+  explicit DiskBaseStore(std::filesystem::path dir);
+
+  void put(std::uint64_t class_id, std::uint32_t version, util::BytesView base) override;
+  std::optional<util::Bytes> get(std::uint64_t class_id,
+                                 std::uint32_t version) const override;
+  void erase(std::uint64_t class_id, std::uint32_t version) override;
+  bool contains(std::uint64_t class_id, std::uint32_t version) const override;
+  std::size_t bytes_stored() const override { return bytes_; }
+  std::size_t entries() const override { return index_.size(); }
+
+  /// Reads that failed checksum or framing validation.
+  std::uint64_t corrupt_reads() const { return corrupt_reads_; }
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  std::filesystem::path path_for(std::uint64_t class_id, std::uint32_t version) const;
+
+  std::filesystem::path dir_;
+  /// (class, version) -> payload size.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> index_;
+  std::size_t bytes_ = 0;
+  mutable std::uint64_t corrupt_reads_ = 0;
+};
+
+}  // namespace cbde::core

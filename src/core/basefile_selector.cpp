@@ -1,0 +1,227 @@
+#include "core/basefile_selector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace cbde::core {
+
+BaseFileSelector::BaseFileSelector(SelectorConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  CBDE_EXPECT(config_.sample_prob >= 0.0 && config_.sample_prob <= 1.0);
+  CBDE_EXPECT(config_.max_samples >= 1);
+  CBDE_EXPECT(config_.random_evict_period >= 1);
+}
+
+void BaseFileSelector::observe(util::BytesView doc) {
+  ++stats_.observed;
+  if (!rng_.bernoulli(config_.sample_prob)) return;
+  admit(doc);
+}
+
+void BaseFileSelector::admit(util::BytesView doc) {
+  ++stats_.sampled;
+  if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
+    insert_reference(doc);
+  }
+  insert_candidate(doc);
+}
+
+void BaseFileSelector::insert_candidate(util::BytesView doc) {
+  if (candidates_.size() >= config_.max_samples) evict_candidate();
+
+  const std::size_t idx = candidates_.size();
+  candidates_.emplace_back(doc.begin(), doc.end());
+
+  if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
+    // Column set is the reference set; score the new candidate against it.
+    std::vector<double> row(references_.size(), 0.0);
+    for (std::size_t j = 0; j < references_.size(); ++j) {
+      row[j] = static_cast<double>(delta::estimate_delta_size(
+          util::as_view(candidates_[idx]), util::as_view(references_[j]),
+          config_.score_params));
+    }
+    score_matrix_.push_back(std::move(row));
+    return;
+  }
+
+  // One-set policies: extend the square matrix with a new row and column.
+  std::vector<double> row(idx + 1, 0.0);
+  for (std::size_t j = 0; j < idx; ++j) {
+    row[j] = static_cast<double>(delta::estimate_delta_size(
+        util::as_view(candidates_[idx]), util::as_view(candidates_[j]), config_.score_params));
+    score_matrix_[j].push_back(static_cast<double>(delta::estimate_delta_size(
+        util::as_view(candidates_[j]), util::as_view(candidates_[idx]),
+        config_.score_params)));
+  }
+  score_matrix_.push_back(std::move(row));
+}
+
+void BaseFileSelector::insert_reference(util::BytesView doc) {
+  if (references_.size() >= config_.max_samples) {
+    // "a random sample is evicted from the other set"
+    const std::size_t victim = static_cast<std::size_t>(rng_.next_below(references_.size()));
+    references_.erase(references_.begin() + static_cast<std::ptrdiff_t>(victim));
+    for (auto& row : score_matrix_) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  references_.emplace_back(doc.begin(), doc.end());
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    score_matrix_[i].push_back(static_cast<double>(delta::estimate_delta_size(
+        util::as_view(candidates_[i]), util::as_view(references_.back()),
+        config_.score_params)));
+  }
+}
+
+double BaseFileSelector::score(std::size_t idx) const {
+  double total = 0.0;
+  const auto& row = score_matrix_[idx];
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (config_.eviction != SelectorConfig::Eviction::kTwoSet && j == idx) continue;
+    total += row[j];
+  }
+  return total;
+}
+
+std::size_t BaseFileSelector::best_index() const {
+  CBDE_ASSERT(!candidates_.empty());
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const double s = score(i);
+    if (s < best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void BaseFileSelector::evict_candidate() {
+  ++stats_.evictions;
+  const bool random_turn =
+      config_.eviction == SelectorConfig::Eviction::kPeriodicRandom &&
+      stats_.evictions % config_.random_evict_period == 0;
+  if (random_turn && candidates_.size() > 1) {
+    // Random eviction, "excluding the current base-file" (the best sample).
+    ++stats_.random_evictions;
+    const std::size_t keep = best_index();
+    std::size_t victim =
+        static_cast<std::size_t>(rng_.next_below(candidates_.size() - 1));
+    if (victim >= keep) ++victim;
+    remove_candidate(victim);
+    return;
+  }
+  // Evict the document that maximizes the sum of deltas (the worst).
+  std::size_t worst = 0;
+  double worst_score = -1.0;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const double s = score(i);
+    if (s > worst_score) {
+      worst_score = s;
+      worst = i;
+    }
+  }
+  remove_candidate(worst);
+}
+
+void BaseFileSelector::remove_candidate(std::size_t idx) {
+  CBDE_ASSERT(idx < candidates_.size());
+  candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(idx));
+  score_matrix_.erase(score_matrix_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (config_.eviction != SelectorConfig::Eviction::kTwoSet) {
+    for (auto& row : score_matrix_) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+}
+
+const util::Bytes* BaseFileSelector::best() const {
+  if (candidates_.empty()) return nullptr;
+  return &candidates_[best_index()];
+}
+
+double BaseFileSelector::best_score() const {
+  if (candidates_.size() < 2) return 0.0;
+  return score(best_index());
+}
+
+std::size_t BaseFileSelector::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& doc : candidates_) total += doc.size();
+  for (const auto& doc : references_) total += doc.size();
+  return total;
+}
+
+void BaseFileSelector::flush() {
+  candidates_.clear();
+  score_matrix_.clear();
+  references_.clear();
+}
+
+void FirstResponsePolicy::observe(util::BytesView doc) {
+  if (!base_) base_ = util::Bytes(doc.begin(), doc.end());
+}
+
+const util::Bytes* FirstResponsePolicy::current_base() const {
+  return base_ ? &*base_ : nullptr;
+}
+
+RandomizedPolicy::RandomizedPolicy(SelectorConfig config, std::uint64_t seed)
+    : selector_(config, seed) {}
+
+void RandomizedPolicy::observe(util::BytesView doc) {
+  if (first_) {
+    selector_.admit(doc);
+    first_ = false;
+    return;
+  }
+  selector_.observe(doc);
+}
+
+const util::Bytes* RandomizedPolicy::current_base() const { return selector_.best(); }
+
+OnlineOptimalPolicy::OnlineOptimalPolicy(delta::DeltaParams score_params)
+    : score_params_(score_params) {}
+
+void OnlineOptimalPolicy::observe(util::BytesView doc) {
+  const std::size_t idx = docs_.size();
+  docs_.emplace_back(doc.begin(), doc.end());
+  score_.push_back(0.0);
+  for (std::size_t j = 0; j < idx; ++j) {
+    score_[idx] += static_cast<double>(delta::estimate_delta_size(
+        util::as_view(docs_[idx]), util::as_view(docs_[j]), score_params_));
+    score_[j] += static_cast<double>(delta::estimate_delta_size(
+        util::as_view(docs_[j]), util::as_view(docs_[idx]), score_params_));
+  }
+  best_ = static_cast<std::size_t>(
+      std::min_element(score_.begin(), score_.end()) - score_.begin());
+}
+
+const util::Bytes* OnlineOptimalPolicy::current_base() const {
+  return docs_.empty() ? nullptr : &docs_[best_];
+}
+
+std::size_t offline_optimal_index(const std::vector<util::Bytes>& docs,
+                                  const delta::DeltaParams& score_params) {
+  CBDE_EXPECT(!docs.empty());
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < docs.size(); ++j) {
+      if (i == j) continue;
+      total += static_cast<double>(delta::estimate_delta_size(
+          util::as_view(docs[i]), util::as_view(docs[j]), score_params));
+    }
+    if (total < best_score) {
+      best_score = total;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace cbde::core

@@ -1,0 +1,131 @@
+// Baseline traffic schemes the paper positions itself against (§I).
+//
+// Each baseline consumes the same request stream as the CBDE pipeline and
+// accounts outbound bytes and server-side storage, so head-to-head
+// comparisons (bench_baselines) are byte-exact:
+//   * FullTransfer     — serve every dynamic response in full (status quo);
+//   * GzipOnly         — compress each response; no history ("a factor of 2
+//                        on average is thanks to compression");
+//   * Hpp              — Douglis et al.'s HTML macro-preprocessing: the
+//                        static template is cached per client, only the
+//                        dynamic interpolation values travel per access
+//                        ("network transfers 2 to 8 times smaller");
+//   * ClasslessDelta   — basic delta-encoding: one base-file per
+//                        (user, URL) pair, deltas against the previous
+//                        snapshot; maximal redundancy exploitation at
+//                        unbounded server storage (the scalability problem
+//                        class-based operation removes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "http/url.hpp"
+#include "server/origin.hpp"
+#include "util/clock.hpp"
+
+namespace cbde::core {
+
+struct BaselineCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t direct_bytes = 0;  ///< what full transfer would have sent
+  std::uint64_t wire_bytes = 0;    ///< what this scheme actually sends
+
+  double savings() const {
+    return direct_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(wire_bytes) / static_cast<double>(direct_bytes);
+  }
+  double reduction_factor() const {
+    return wire_bytes == 0 ? 0.0
+                           : static_cast<double>(direct_bytes) /
+                                 static_cast<double>(wire_bytes);
+  }
+};
+
+class TrafficBaseline {
+ public:
+  explicit TrafficBaseline(const server::OriginServer& origin) : origin_(origin) {}
+  virtual ~TrafficBaseline() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Process one request; updates counters. Unknown URLs are ignored.
+  void process(std::uint64_t user_id, const http::Url& url, util::SimTime now);
+
+  /// Server-side base/template storage this scheme requires.
+  virtual std::size_t storage_bytes() const { return 0; }
+
+  const BaselineCounters& counters() const { return counters_; }
+
+ protected:
+  /// Scheme-specific wire cost for this response.
+  virtual std::size_t wire_cost(std::uint64_t user_id, const http::Url& url,
+                                const util::Bytes& doc, util::SimTime now) = 0;
+
+  const server::OriginServer& origin_;
+  BaselineCounters counters_;
+};
+
+/// Status quo: ship the whole document every time.
+class FullTransferBaseline final : public TrafficBaseline {
+ public:
+  using TrafficBaseline::TrafficBaseline;
+  std::string_view name() const override { return "full-transfer"; }
+
+ protected:
+  std::size_t wire_cost(std::uint64_t, const http::Url&, const util::Bytes& doc,
+                        util::SimTime) override {
+    return doc.size();
+  }
+};
+
+/// Per-response compression, no history.
+class GzipOnlyBaseline final : public TrafficBaseline {
+ public:
+  using TrafficBaseline::TrafficBaseline;
+  std::string_view name() const override { return "gzip-only"; }
+
+ protected:
+  std::size_t wire_cost(std::uint64_t, const http::Url&, const util::Bytes& doc,
+                        util::SimTime) override;
+};
+
+/// HPP: static template cached per (client, category); compressed dynamic
+/// interpolation values per access.
+class HppBaseline final : public TrafficBaseline {
+ public:
+  using TrafficBaseline::TrafficBaseline;
+  std::string_view name() const override { return "hpp"; }
+  std::size_t storage_bytes() const override { return 0; }  // templates are static
+
+ protected:
+  std::size_t wire_cost(std::uint64_t user_id, const http::Url& url,
+                        const util::Bytes& doc, util::SimTime now) override;
+
+ private:
+  /// (user, host, category) pairs that already hold the macro template.
+  std::set<std::tuple<std::uint64_t, std::string, std::size_t>> templates_held_;
+};
+
+/// Basic (classless) delta-encoding: one stored base per (user, URL).
+class ClasslessDeltaBaseline final : public TrafficBaseline {
+ public:
+  using TrafficBaseline::TrafficBaseline;
+  std::string_view name() const override { return "classless-delta"; }
+  std::size_t storage_bytes() const override { return storage_; }
+  std::size_t bases_stored() const { return bases_.size(); }
+
+ protected:
+  std::size_t wire_cost(std::uint64_t user_id, const http::Url& url,
+                        const util::Bytes& doc, util::SimTime now) override;
+
+ private:
+  std::map<std::string, util::Bytes> bases_;
+  std::size_t storage_ = 0;
+};
+
+}  // namespace cbde::core

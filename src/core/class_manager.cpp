@@ -1,0 +1,119 @@
+#include "core/class_manager.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace cbde::core {
+
+ClassManager::ClassManager(GroupingConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  CBDE_EXPECT(config_.max_tries >= 1);
+  CBDE_EXPECT(config_.popular_fraction >= 0.0 && config_.popular_fraction <= 1.0);
+  CBDE_EXPECT(config_.match_threshold > 0.0);
+}
+
+ClassManager::Decision ClassManager::group(
+    const http::UrlParts& parts, util::BytesView doc,
+    const std::function<util::BytesView(ClassId)>& base_of) {
+  ++stats_.requests;
+
+  // Manual grouping bypasses the content test entirely.
+  if (const auto it = manual_.find({parts.server_part, parts.hint_part});
+      it != manual_.end()) {
+    ++stats_.manual_hits;
+    ++members_[it->second];
+    stats_.tries.add(0);
+    return Decision{it->second, false, 0};
+  }
+
+  Decision decision;
+  const auto order = candidates(parts.server_part, parts.hint_part);
+  for (const ClassId id : order) {
+    const util::BytesView base = base_of(id);
+    if (base.empty()) continue;
+    ++decision.tries;
+    const std::size_t estimate =
+        delta::estimate_delta_size(base, doc, config_.light_params);
+    if (static_cast<double>(estimate) <=
+        config_.match_threshold * static_cast<double>(doc.size())) {
+      decision.id = id;
+      ++members_[id];
+      stats_.tries.add(decision.tries);
+      return decision;
+    }
+  }
+
+  decision.id = create_class(parts);
+  decision.created = true;
+  ++members_[decision.id];
+  stats_.tries.add(decision.tries);
+  return decision;
+}
+
+ClassId ClassManager::add_manual_class(const std::string& server_part,
+                                       const std::string& hint_part) {
+  const auto key = std::make_pair(server_part, hint_part);
+  if (const auto it = manual_.find(key); it != manual_.end()) return it->second;
+  const ClassId id = next_id_++;
+  members_.emplace(id, 0);
+  manual_.emplace(key, id);
+  // Manual classes are also registered for the normal search so their
+  // base-files participate in matching for other hints.
+  by_server_[server_part].push_back(ClassInfo{id, hint_part});
+  return id;
+}
+
+std::uint64_t ClassManager::members_of(ClassId id) const {
+  const auto it = members_.find(id);
+  return it == members_.end() ? 0 : it->second;
+}
+
+ClassId ClassManager::create_class(const http::UrlParts& parts) {
+  const ClassId id = next_id_++;
+  members_.emplace(id, 0);
+  by_server_[parts.server_part].push_back(ClassInfo{id, parts.hint_part});
+  ++stats_.classes_created;
+  return id;
+}
+
+std::vector<ClassId> ClassManager::candidates(const std::string& server_part,
+                                              const std::string& hint_part) {
+  const auto server_it = by_server_.find(server_part);
+  if (server_it == by_server_.end()) return {};  // new server-part: create class
+  const auto& classes = server_it->second;
+
+  // "If some classes have members whose hint-parts are the same with the
+  // request's hint-part, the mechanism only considers those."
+  std::vector<ClassId> eligible;
+  for (const ClassInfo& info : classes) {
+    if (info.hint_part == hint_part) eligible.push_back(info.id);
+  }
+  if (eligible.empty()) {
+    eligible.reserve(classes.size());
+    for (const ClassInfo& info : classes) eligible.push_back(info.id);
+  }
+
+  // Popular classes first for the first a*N tries.
+  std::stable_sort(eligible.begin(), eligible.end(), [this](ClassId a, ClassId b) {
+    return members_[a] > members_[b];
+  });
+  const std::size_t n_popular = std::min(
+      eligible.size(),
+      static_cast<std::size_t>(config_.popular_fraction *
+                               static_cast<double>(config_.max_tries)));
+
+  std::vector<ClassId> order(eligible.begin(),
+                             eligible.begin() + static_cast<std::ptrdiff_t>(n_popular));
+  // "... and the last (1-a)*N consist of random selections among the rest."
+  std::vector<ClassId> rest(eligible.begin() + static_cast<std::ptrdiff_t>(n_popular),
+                            eligible.end());
+  rng_.shuffle(rest);
+  for (const ClassId id : rest) {
+    if (order.size() >= config_.max_tries) break;
+    order.push_back(id);
+  }
+  return order;
+}
+
+}  // namespace cbde::core

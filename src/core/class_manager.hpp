@@ -1,0 +1,95 @@
+// Grouping documents into classes (paper §III).
+//
+// A request is grouped into an existing class if a *light* delta between the
+// requested document and the class's base-file is below a threshold
+// ("matching"). Search is hint-guided and bounded:
+//   * only classes with the same server-part are eligible (a new class is
+//     created otherwise);
+//   * classes sharing the request's hint-part are preferred exclusively when
+//     any exist;
+//   * at most N classes are probed: the first a*N tries go to the most
+//     popular eligible classes, the remaining (1-a)*N to random picks among
+//     the rest; the search stops at the first match;
+//   * administrators may pin (server-part, hint-part) pairs to manual
+//     classes, bypassing the content test (the ad-hoc-site escape hatch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "delta/delta.hpp"
+#include "http/partition.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cbde::core {
+
+using ClassId = std::uint64_t;
+
+struct GroupingConfig {
+  std::size_t max_tries = 8;       ///< N — classes probed per request
+  double popular_fraction = 0.5;   ///< a — share of tries spent on popular classes
+  /// Matching: light delta size <= threshold * document size. The light
+  /// estimator is deliberately coarse (large chunks, shallow search), so the
+  /// threshold is looser than the "real" delta ratio one would accept.
+  double match_threshold = 0.5;
+  delta::DeltaParams light_params = delta::DeltaParams::light();
+};
+
+struct GroupingStats {
+  std::uint64_t requests = 0;
+  std::uint64_t classes_created = 0;
+  std::uint64_t manual_hits = 0;
+  util::Histogram tries{16};  ///< probes needed per grouped request
+};
+
+class ClassManager {
+ public:
+  ClassManager(GroupingConfig config, std::uint64_t seed);
+
+  struct Decision {
+    ClassId id = 0;
+    bool created = false;
+    std::size_t tries = 0;  ///< delta estimations performed
+  };
+
+  /// Group a request. `base_of` must return the current working base-file
+  /// of a class (empty view if it has none yet, in which case the class is
+  /// skipped). Increments the chosen class's member count.
+  Decision group(const http::UrlParts& parts, util::BytesView doc,
+                 const std::function<util::BytesView(ClassId)>& base_of);
+
+  /// Administrator override: requests whose (server-part, hint-part) match
+  /// are grouped into a dedicated class with no content test.
+  ClassId add_manual_class(const std::string& server_part, const std::string& hint_part);
+
+  std::size_t num_classes() const { return members_.size(); }
+  std::uint64_t members_of(ClassId id) const;
+  const GroupingStats& stats() const { return stats_; }
+
+ private:
+  struct ClassInfo {
+    ClassId id;
+    std::string hint_part;
+  };
+
+  ClassId create_class(const http::UrlParts& parts);
+  /// Eligible candidates in probe order (popular first, then random fill).
+  std::vector<ClassId> candidates(const std::string& server_part,
+                                  const std::string& hint_part);
+
+  GroupingConfig config_;
+  util::Rng rng_;
+  ClassId next_id_ = 1;
+  /// server-part -> classes created under it.
+  std::map<std::string, std::vector<ClassInfo>> by_server_;
+  std::map<ClassId, std::uint64_t> members_;
+  std::map<std::pair<std::string, std::string>, ClassId> manual_;
+  GroupingStats stats_;
+};
+
+}  // namespace cbde::core

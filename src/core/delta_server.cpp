@@ -1,0 +1,225 @@
+#include "core/delta_server.hpp"
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+
+namespace cbde::core {
+
+DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
+                         std::unique_ptr<BaseStore> store)
+    : config_(config),
+      rules_(std::move(rules)),
+      store_(store ? std::move(store) : std::make_unique<MemoryBaseStore>()),
+      classes_(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull),
+      rng_(config.seed) {}
+
+DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    it = states_
+             .emplace(id, std::make_unique<ClassState>(config_, rng_.next_u64()))
+             .first;
+  }
+  return *it->second;
+}
+
+void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime now) {
+  if (!config_.anonymize) {
+    // No privacy requirement: publish the working base immediately.
+    cls.published_base = cls.working_base;
+    ++cls.published_version;
+    record_publication(id, cls);
+    cls.last_group_rebase = now;
+    return;
+  }
+  cls.anonymizer.begin(cls.working_base, cls.working_owner);
+}
+
+void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
+                                             util::SimTime now) {
+  if (!cls.anonymizer.ready()) return;
+  cls.published_base = cls.anonymizer.finalize();
+  ++cls.published_version;
+  record_publication(id, cls);
+  cls.last_group_rebase = now;
+  ++metrics_.anonymizations_completed;
+}
+
+void DeltaServer::record_publication(ClassId id, ClassState& cls) {
+  store_->put(id, cls.published_version, util::as_view(cls.published_base));
+  cls.retained_versions.push_back(cls.published_version);
+  while (cls.retained_versions.size() > config_.published_history) {
+    store_->erase(id, cls.retained_versions.front());
+    cls.retained_versions.erase(cls.retained_versions.begin());
+  }
+}
+
+ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
+                                  util::BytesView doc, util::SimTime now) {
+  ServedResponse out;
+  out.doc_size = doc.size();
+  ++metrics_.requests;
+  metrics_.direct_bytes += doc.size();
+
+  // Classless-storage bookkeeping: basic delta-encoding would store one
+  // base-file per (user, URL).
+  {
+    const std::uint64_t key = util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
+    auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
+    const std::size_t previous = inserted ? 0 : it->second;
+    classless_storage_bytes_ += doc.size();
+    classless_storage_bytes_ -= previous;
+    it->second = doc.size();
+  }
+
+  // 1. Partition the URL and group the request into a class.
+  const http::UrlParts parts = rules_.partition(url);
+  const auto decision = classes_.group(parts, doc, [this](ClassId id) -> util::BytesView {
+    const auto it = states_.find(id);
+    if (it == states_.end()) return {};
+    return util::as_view(it->second->working_base);
+  });
+  out.class_id = decision.id;
+  out.class_created = decision.created;
+  out.grouping_tries = decision.tries;
+
+  ClassState& cls = state_of(decision.id);
+  const bool creating = decision.created || cls.working_base.empty();
+  if (creating) {
+    cls.working_base.assign(doc.begin(), doc.end());
+    cls.working_owner = user_id;
+    cls.selector.admit(doc);
+    start_publication(decision.id, cls, now);
+  } else {
+    // 2. Feed the selector and any in-progress anonymization.
+    cls.selector.observe(doc);
+    cls.anonymizer.observe(user_id, doc);
+    maybe_complete_publication(decision.id, cls, now);
+  }
+
+  // 3. Decide the response. The request that creates a class is always
+  // served directly: its document just became the (un-anonymized) base.
+  bool serve_delta = cls.published_version > 0 && !creating;
+  util::Bytes delta_wire;
+  bool large_delta = false;
+  if (serve_delta) {
+    auto encoded =
+        delta::encode(util::as_view(cls.published_base), doc, config_.transmit_params);
+    out.delta_size = encoded.delta.size();
+    out.cpu_us += config_.cpu.cost(cls.published_base.size(), doc.size(),
+                                   encoded.delta.size());
+    large_delta = static_cast<double>(out.delta_size) >
+                  config_.basic_rebase_ratio * static_cast<double>(doc.size());
+    delta_wire = config_.compress_deltas
+                     ? compress::compress(util::as_view(encoded.delta),
+                                          config_.compress_params)
+                     : std::move(encoded.delta);
+    // A delta larger than the document itself is useless; fall back.
+    if (delta_wire.size() >= doc.size()) serve_delta = false;
+  } else {
+    out.cpu_us += config_.cpu.fixed_us;
+  }
+
+  if (serve_delta) {
+    out.mode = ServedResponse::Mode::kDelta;
+    out.base_version = cls.published_version;
+    const auto key = std::make_pair(user_id, decision.id);
+    const auto it = client_versions_.find(key);
+    if (it == client_versions_.end() || it->second != cls.published_version) {
+      out.base_needed = true;
+      out.base_size = cls.published_base.size();
+      client_versions_[key] = cls.published_version;
+    }
+    out.wire_body = std::move(delta_wire);
+    out.wire_compressed = config_.compress_deltas;
+    ++metrics_.delta_responses;
+  } else {
+    out.mode = ServedResponse::Mode::kDirect;
+    out.wire_body.assign(doc.begin(), doc.end());
+    ++metrics_.direct_responses;
+  }
+  metrics_.wire_bytes += out.wire_body.size();
+  if (out.base_needed) metrics_.base_wire_bytes += out.base_size;
+  metrics_.cpu_us_total += out.cpu_us;
+
+  // 4. Basic-rebase: consecutive relatively-large deltas flush the class.
+  if (cls.published_version > 0) {
+    cls.consecutive_large_deltas = large_delta ? cls.consecutive_large_deltas + 1 : 0;
+    if (cls.consecutive_large_deltas >= config_.basic_rebase_after) {
+      cls.consecutive_large_deltas = 0;
+      cls.working_base.assign(doc.begin(), doc.end());
+      cls.working_owner = user_id;
+      cls.selector.flush();  // "all K stored documents are flushed"
+      cls.selector.admit(doc);
+      start_publication(decision.id, cls, now);
+      out.basic_rebase = true;
+      ++metrics_.basic_rebases;
+    }
+  }
+
+  // 5. Group-rebase: a better candidate exists and the timeout has expired.
+  if (!out.basic_rebase && !cls.anonymizer.in_progress() &&
+      now - cls.last_group_rebase >= config_.rebase_timeout) {
+    if (const util::Bytes* best = cls.selector.best();
+        best != nullptr && *best != cls.working_base) {
+      cls.working_base = *best;
+      cls.working_owner = user_id;  // conservatively exclude the requester
+      start_publication(decision.id, cls, now);
+      out.group_rebase = true;
+      ++metrics_.group_rebases;
+      // Avoid immediate re-trigger while the new base awaits anonymization.
+      cls.last_group_rebase = now;
+    }
+  }
+  return out;
+}
+
+std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id) const {
+  const auto it = states_.find(id);
+  if (it == states_.end() || it->second->published_version == 0) return std::nullopt;
+  return PublishedBase{it->second->published_version,
+                       util::as_view(it->second->published_base)};
+}
+
+std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
+                                                   std::uint32_t version) const {
+  // Hot path: the current version is cached in memory.
+  const auto it = states_.find(id);
+  if (it != states_.end() && it->second->published_version == version &&
+      version != 0) {
+    return it->second->published_base;
+  }
+  return store_->get(id, version);
+}
+
+std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
+  std::vector<ClassSummary> out;
+  out.reserve(states_.size());
+  for (const auto& [id, cls] : states_) {
+    ClassSummary summary;
+    summary.id = id;
+    summary.members = classes_.members_of(id);
+    summary.published_version = cls->published_version;
+    summary.published_size = cls->published_base.size();
+    summary.working_size = cls->working_base.size();
+    summary.selector_samples = cls->selector.stored();
+    summary.anonymizing = cls->anonymizer.in_progress();
+    out.push_back(summary);
+  }
+  return out;
+}
+
+std::size_t DeltaServer::storage_bytes() const {
+  // Retained published versions live in the base store (the in-memory copy
+  // of each current base is a cache, not extra footprint).
+  std::size_t total = store_->bytes_stored();
+  for (const auto& [id, cls] : states_) {
+    total += cls->working_base.size();
+    total += cls->anonymizer.in_progress() ? cls->anonymizer.pending_base().size() : 0;
+    // Selector samples are part of the server-side footprint too.
+    total += cls->selector.stored_bytes();
+  }
+  return total;
+}
+
+}  // namespace cbde::core

@@ -1,0 +1,190 @@
+// The delta-server (paper §II, §VI-C): the engine placed next to the
+// web-server that implements class-based delta-encoding.
+//
+// Per request it: partitions the URL, groups the request into a class
+// (ClassManager), feeds the base-file selector and the anonymization
+// process, and decides how to respond — full document (direct) or a
+// compressed delta against the class's *published* (anonymized) base-file.
+// It tracks which base-file version each client holds, charges base-file
+// distribution bytes when a client must first obtain the base, and runs the
+// two rebase mechanisms of §IV:
+//   group-rebase — the selector proposes a better base-file and the
+//                  rebase-timeout has expired;
+//   basic-rebase — consecutive relatively-large deltas indicate a stale
+//                  base; the current document becomes the new working base
+//                  and all stored samples are flushed.
+// A freshly (re)based base-file is only published once anonymization
+// completes; until then the previous published base keeps serving (§V).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/anonymizer.hpp"
+#include "core/base_store.hpp"
+#include "core/basefile_selector.hpp"
+#include "core/class_manager.hpp"
+#include "core/metrics.hpp"
+#include "compress/compressor.hpp"
+#include "http/partition.hpp"
+#include "util/clock.hpp"
+
+namespace cbde::core {
+
+/// CPU cost model for the delta-server's per-request work, used by the
+/// capacity experiment (§VI-C). Constants are calibrated so a 50-60 KB
+/// base-file costs 6-8 ms, matching the paper's measurement on a PIII-866.
+struct DeltaCpuModel {
+  double fixed_us = 500;          ///< request handling, class lookup
+  double encode_us_per_kb = 110;  ///< delta generation per KB of base+target
+  double compress_us_per_kb = 40; ///< gzip-like pass per KB of delta
+
+  double cost(std::size_t base_bytes, std::size_t target_bytes,
+              std::size_t delta_bytes) const {
+    return fixed_us +
+           encode_us_per_kb * static_cast<double>(base_bytes + target_bytes) / 1024.0 +
+           compress_us_per_kb * static_cast<double>(delta_bytes) / 1024.0;
+  }
+};
+
+struct DeltaServerConfig {
+  GroupingConfig grouping;
+  SelectorConfig selector;
+  AnonymizerConfig anonymizer;
+  /// If false, base-files are published raw immediately (no privacy; the
+  /// classless-vs-class ablations use this).
+  bool anonymize = true;
+  bool compress_deltas = true;
+  delta::DeltaParams transmit_params = delta::DeltaParams::full();
+  compress::CompressParams compress_params = {};
+  /// Uncompressed delta larger than this fraction of the document counts as
+  /// "relatively large" for basic-rebase purposes.
+  double basic_rebase_ratio = 0.7;
+  /// Consecutive large deltas (per class) before a basic-rebase fires.
+  int basic_rebase_after = 3;
+  /// Minimum simulated time between group-rebases of one class.
+  util::SimTime rebase_timeout = 120 * util::kSecond;
+  /// Published base-file versions kept available after a rebase, so clients
+  /// holding (or currently fetching) an older version are not stranded.
+  std::size_t published_history = 3;
+  DeltaCpuModel cpu;
+  std::uint64_t seed = 7;
+};
+
+struct ServedResponse {
+  enum class Mode { kDirect, kDelta };
+  Mode mode = Mode::kDirect;
+
+  ClassId class_id = 0;
+  bool class_created = false;
+  std::size_t grouping_tries = 0;
+
+  /// For kDelta: the base version the delta was computed against.
+  std::uint32_t base_version = 0;
+  /// True if this client did not hold the current base and must fetch it.
+  bool base_needed = false;
+  std::size_t base_size = 0;  ///< size of the published base (if base_needed)
+
+  std::size_t doc_size = 0;    ///< full document size (the direct baseline)
+  std::size_t delta_size = 0;  ///< uncompressed delta size (kDelta only)
+  util::Bytes wire_body;       ///< bytes sent: compressed delta, or the document
+  bool wire_compressed = false;
+
+  bool group_rebase = false;
+  bool basic_rebase = false;
+  double cpu_us = 0;
+};
+
+class DeltaServer {
+ public:
+  /// `store` holds retained published base-file versions; defaults to an
+  /// in-memory store. Pass a DiskBaseStore for persistence across restarts.
+  DeltaServer(DeltaServerConfig config, http::RuleBook rules,
+              std::unique_ptr<BaseStore> store = nullptr);
+
+  /// Process one request: `doc` is the current snapshot obtained from the
+  /// web-server. Advances all class machinery and returns the response.
+  ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
+                       util::SimTime now);
+
+  /// Published (client-visible) base-file of a class, if any.
+  struct PublishedBase {
+    std::uint32_t version = 0;
+    util::BytesView bytes;
+  };
+  std::optional<PublishedBase> published_base(ClassId id) const;
+
+  /// A specific retained version (current or recent history) from the base
+  /// store; nullopt if the class is unknown or the version has aged out.
+  std::optional<util::Bytes> fetch_base(ClassId id, std::uint32_t version) const;
+
+  const BaseStore& base_store() const { return *store_; }
+
+  const PipelineMetrics& metrics() const { return metrics_; }
+  const ClassManager& classes() const { return classes_; }
+  const http::RuleBook& rules() const { return rules_; }
+
+  /// Server-side storage the scheme requires: working + published bases and
+  /// selector samples across all classes (the paper's scalability metric).
+  std::size_t storage_bytes() const;
+
+  /// Operational snapshot of one class.
+  struct ClassSummary {
+    ClassId id = 0;
+    std::uint64_t members = 0;
+    std::uint32_t published_version = 0;
+    std::size_t published_size = 0;
+    std::size_t working_size = 0;
+    std::size_t selector_samples = 0;
+    bool anonymizing = false;
+  };
+  std::vector<ClassSummary> class_summaries() const;
+
+  /// What classless delta-encoding would store instead: one base-file per
+  /// distinct (user, URL) pair seen.
+  std::size_t classless_storage_bytes() const { return classless_storage_bytes_; }
+
+  std::size_t num_classes() const { return classes_.num_classes(); }
+
+ private:
+  struct ClassState {
+    util::Bytes working_base;  ///< grouping/selection reference (raw)
+    std::uint64_t working_owner = 0;
+    util::Bytes published_base;  ///< what clients hold (anonymized); also in
+                                 ///< the base store, kept here as a hot copy
+    std::uint32_t published_version = 0;
+    /// Versions currently retained in the base store, oldest first.
+    std::vector<std::uint32_t> retained_versions;
+    BaseFileSelector selector;
+    Anonymizer anonymizer;
+    util::SimTime last_group_rebase = 0;
+    int consecutive_large_deltas = 0;
+
+    ClassState(const DeltaServerConfig& config, std::uint64_t seed)
+        : selector(config.selector, seed), anonymizer(config.anonymizer) {}
+  };
+
+  ClassState& state_of(ClassId id);
+  void start_publication(ClassId id, ClassState& cls, util::SimTime now);
+  void maybe_complete_publication(ClassId id, ClassState& cls, util::SimTime now);
+  void record_publication(ClassId id, ClassState& cls);
+
+  DeltaServerConfig config_;
+  http::RuleBook rules_;
+  std::unique_ptr<BaseStore> store_;
+  ClassManager classes_;
+  std::map<ClassId, std::unique_ptr<ClassState>> states_;
+  /// Base version each (client, class) currently holds.
+  std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions_;
+  /// Distinct (user, url) -> last document size, for the classless-storage
+  /// comparison.
+  std::map<std::uint64_t, std::size_t> classless_docs_;
+  std::size_t classless_storage_bytes_ = 0;
+  util::Rng rng_;
+  PipelineMetrics metrics_;
+};
+
+}  // namespace cbde::core

@@ -1,0 +1,91 @@
+#include "core/event_pipeline.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace cbde::core {
+
+EventPipeline::EventPipeline(const server::OriginServer& origin,
+                             EventPipelineConfig config, http::RuleBook rules)
+    : origin_(origin), config_(config), delta_server_(config.server, std::move(rules)) {}
+
+EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& requests) {
+  EventPipelineResult result;
+
+  netsim::EventQueue events;
+  netsim::FifoResource cpu;
+  netsim::BitPipe uplink(config_.uplink_bps, config_.uplink_propagation);
+  // Each client has a private last-mile link.
+  std::map<std::uint64_t, netsim::BitPipe> client_links;
+  const util::SimTime client_propagation = config_.client_link.rtt / 2;
+  // (class, version) pairs already pulled through the uplink once; proxies
+  // serve later fetches.
+  std::set<std::pair<ClassId, std::uint32_t>> bases_through_uplink;
+
+  for (const trace::Request& request : requests) {
+    events.schedule(request.time, [&, request] {
+      const util::SimTime issued = events.now();
+      const auto doc = origin_.document(request.url, request.user_id, issued);
+      if (!doc) return;
+
+      // CPU stage: dynamic generation, plus the delta-server's work.
+      double cpu_us = config_.origin_cpu.generation_cost(doc->size());
+      std::size_t response_bytes;
+      std::size_t base_bytes = 0;
+      bool base_from_proxy = false;
+      if (config_.use_cbde) {
+        ServedResponse served =
+            delta_server_.serve(request.user_id, request.url, util::as_view(*doc), issued);
+        cpu_us += served.cpu_us;
+        response_bytes = served.wire_body.size();
+        if (served.base_needed) {
+          base_bytes = served.base_size;
+          if (config_.proxy_absorbs_bases) {
+            base_from_proxy =
+                !bases_through_uplink.emplace(served.class_id, served.base_version)
+                     .second;
+          }
+        }
+      } else {
+        response_bytes = doc->size();
+      }
+
+      // Request upstream: one client-link propagation (requests are tiny).
+      const util::SimTime at_server = issued + client_propagation;
+      const util::SimTime cpu_done =
+          cpu.submit(at_server, static_cast<util::SimTime>(cpu_us));
+
+      // Response (and base-file, when needed) serialize through the shared
+      // uplink, then the client's own link.
+      util::SimTime uplink_done = uplink.transmit(cpu_done, response_bytes);
+      if (base_bytes > 0 && !base_from_proxy) {
+        uplink_done = uplink.transmit(uplink_done, base_bytes);
+      }
+      auto [it, inserted] = client_links.try_emplace(
+          request.user_id, config_.client_link.bandwidth_bps, client_propagation);
+      util::SimTime done = it->second.transmit(uplink_done, response_bytes);
+      if (base_bytes > 0) done = it->second.transmit(done, base_bytes);
+
+      ++result.completed;
+      result.latency_us.add(static_cast<double>(done - issued));
+      result.horizon = std::max(result.horizon, done);
+    });
+  }
+  events.run();
+
+  result.uplink_bytes = uplink.bytes_carried();
+  result.uplink_utilization = uplink.utilization(result.horizon);
+  result.cpu_utilization =
+      result.horizon <= 0 ? 0.0
+                          : static_cast<double>(cpu.busy_time()) /
+                                static_cast<double>(result.horizon);
+  result.goodput_rps = result.horizon <= 0
+                           ? 0.0
+                           : static_cast<double>(result.completed) /
+                                 (static_cast<double>(result.horizon) / 1e6);
+  return result;
+}
+
+}  // namespace cbde::core

@@ -1,0 +1,58 @@
+// HTTP front-end for the delta-server: the transparent deployment of
+// Fig. 2 at the wire level.
+//
+// The delta-server sits in front of the web-server and speaks plain
+// HTTP/1.1 to everything else, so clients, proxy-caches and web-servers
+// stay unmodified (§VI-C). Capability negotiation rides on extension
+// headers:
+//
+//   request:   X-CBDE-Accept: 1            client can apply deltas
+//              X-CBDE-User: <id>           user identity (cookie stand-in)
+//
+//   delta response (200):
+//              Content-Type: application/vnd.cbde-delta
+//              X-CBDE-Class: <id>
+//              X-CBDE-Base-Version: <n>
+//              X-CBDE-Encoding: cbz | identity
+//              X-CBDE-Base-Location: /.cbde/base?class=<id>&v=<n>
+//
+//   base-file endpoint: GET /.cbde/base?class=<id>&v=<n>
+//              -> 200, Cache-Control: public (anonymized, proxy-cachable)
+//
+// Clients without X-CBDE-Accept get the ordinary dynamic response, so
+// deployment is incremental.
+#pragma once
+
+#include "core/delta_server.hpp"
+#include "http/message.hpp"
+#include "server/origin.hpp"
+
+namespace cbde::core {
+
+class DeltaFrontend {
+ public:
+  /// `origin` must outlive the frontend.
+  DeltaFrontend(const server::OriginServer& origin, DeltaServerConfig config,
+                http::RuleBook rules);
+
+  /// Full HTTP round trip: parse, dispatch, serialize. Malformed requests
+  /// yield a 400 response (never an exception).
+  util::Bytes handle_raw(util::BytesView request_bytes, util::SimTime now);
+
+  /// Structured entry point.
+  http::HttpResponse handle(const http::HttpRequest& request, util::SimTime now);
+
+  const DeltaServer& delta_server() const { return delta_server_; }
+
+ private:
+  http::HttpResponse serve_base(const http::Url& url) const;
+  http::HttpResponse error_response(int status, std::string_view detail) const;
+
+  const server::OriginServer& origin_;
+  DeltaServer delta_server_;
+};
+
+/// Parse the "X-CBDE-User" header; 0 (anonymous) when absent or malformed.
+std::uint64_t parse_user_header(const http::HttpRequest& request);
+
+}  // namespace cbde::core

@@ -1,0 +1,46 @@
+// Byte-exact accounting for the delta-encoding pipeline (Table II metrics).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace cbde::core {
+
+struct PipelineMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t direct_responses = 0;  ///< served as the full document
+  std::uint64_t delta_responses = 0;   ///< served as a delta
+
+  /// Bytes the server would have sent without the scheme (sum of document
+  /// sizes) — the paper's "Direct KB".
+  std::uint64_t direct_bytes = 0;
+  /// Response bytes actually sent (compressed deltas, or full documents for
+  /// direct responses) — the paper's "Delta KB".
+  std::uint64_t wire_bytes = 0;
+  /// Base-file distribution bytes charged to the server (proxy-cache hits
+  /// are accounted separately by the pipeline).
+  std::uint64_t base_wire_bytes = 0;
+
+  std::uint64_t group_rebases = 0;
+  std::uint64_t basic_rebases = 0;
+  std::uint64_t anonymizations_completed = 0;
+
+  double cpu_us_total = 0;  ///< modeled delta-server CPU
+
+  /// Fraction of outbound bytes saved vs. serving everything directly.
+  double savings() const {
+    if (direct_bytes == 0) return 0.0;
+    const double sent = static_cast<double>(wire_bytes + base_wire_bytes);
+    return 1.0 - sent / static_cast<double>(direct_bytes);
+  }
+
+  /// Mean compression factor: direct bytes / sent bytes.
+  double reduction_factor() const {
+    const auto sent = wire_bytes + base_wire_bytes;
+    return sent == 0 ? 0.0
+                     : static_cast<double>(direct_bytes) / static_cast<double>(sent);
+  }
+};
+
+}  // namespace cbde::core

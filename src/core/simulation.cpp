@@ -1,0 +1,88 @@
+#include "core/simulation.hpp"
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+
+namespace cbde::core {
+
+Pipeline::Pipeline(const server::OriginServer& origin, PipelineConfig config,
+                   http::RuleBook rules)
+    : origin_(origin),
+      config_(config),
+      delta_server_(config.server, std::move(rules)),
+      base_cache_(config.proxy_capacity_bytes) {}
+
+void Pipeline::process(std::uint64_t user_id, const http::Url& url, util::SimTime now) {
+  ++partial_.requests;
+  const auto doc = origin_.document(url, user_id, now);
+  if (!doc) {
+    ++partial_.not_found;
+    return;
+  }
+
+  ServedResponse resp = delta_server_.serve(user_id, url, util::as_view(*doc), now);
+  client::ClientAgent& agent = clients_[user_id];
+
+  std::size_t base_transfer = 0;
+  if (resp.mode == ServedResponse::Mode::kDelta && resp.base_needed) {
+    // The client fetches the published base-file; it is cachable, so the
+    // proxy-cache absorbs repeat fetches (paper §VI-B/C).
+    const auto published = delta_server_.fetch_base(resp.class_id, resp.base_version);
+    CBDE_ASSERT(published.has_value());
+    const std::string cache_key = url.host + "#class" + std::to_string(resp.class_id) +
+                                  "#v" + std::to_string(resp.base_version);
+    bool from_proxy = false;
+    if (config_.use_proxy) {
+      if (base_cache_.get(cache_key)) {
+        from_proxy = true;
+      } else {
+        base_cache_.put(cache_key, *published);
+      }
+    }
+    (from_proxy ? partial_.proxy_base_bytes : partial_.origin_base_bytes) +=
+        published->size();
+    base_transfer = published->size();
+    agent.store_base(client::BaseRef{resp.class_id, resp.base_version}, *published);
+  }
+
+  if (resp.mode == ServedResponse::Mode::kDelta && config_.verify_reconstruction) {
+    const util::Bytes rebuilt =
+        agent.reconstruct(client::BaseRef{resp.class_id, resp.base_version},
+                          util::as_view(resp.wire_body), resp.wire_compressed);
+    if (rebuilt == *doc) {
+      ++partial_.verified;
+    } else {
+      ++partial_.verify_failures;
+    }
+  }
+
+  if (config_.measure_latency) {
+    partial_.latency_direct_us.add(static_cast<double>(
+        netsim::transfer_latency(doc->size(), config_.client_link).total()));
+    double actual = static_cast<double>(
+        netsim::transfer_latency(resp.wire_body.size(), config_.client_link).total());
+    if (base_transfer > 0) {
+      actual += static_cast<double>(
+          netsim::transfer_latency(base_transfer, config_.client_link).total());
+    }
+    partial_.latency_actual_us.add(actual);
+  }
+}
+
+void Pipeline::process_all(const std::vector<trace::Request>& requests) {
+  for (const trace::Request& req : requests) {
+    process(req.user_id, req.url, req.time);
+  }
+}
+
+PipelineReport Pipeline::report() const {
+  PipelineReport out = partial_;
+  out.server = delta_server_.metrics();
+  out.proxy = base_cache_.stats();
+  out.storage_bytes = delta_server_.storage_bytes();
+  out.classless_storage_bytes = delta_server_.classless_storage_bytes();
+  out.num_classes = delta_server_.num_classes();
+  return out;
+}
+
+}  // namespace cbde::core

@@ -1,0 +1,310 @@
+#include "delta/delta.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+#include "util/varint.hpp"
+
+namespace cbde::delta {
+namespace {
+
+constexpr std::size_t kHashBits = 17;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t chunk_hash(const std::uint8_t* p, std::size_t key_len) {
+  return static_cast<std::uint32_t>(util::fnv1a64(p, key_len) >> (64 - kHashBits));
+}
+
+inline std::size_t forward_match(const std::uint8_t* a, const std::uint8_t* b,
+                                 std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+/// Hash-chain index over base positions (every index_step-th position).
+class BaseIndex {
+ public:
+  BaseIndex(util::BytesView base, std::size_t key_len, std::size_t step)
+      : base_(base), key_len_(key_len), step_(step), head_(kHashSize, 0) {
+    if (base.size() < key_len) return;
+    const std::size_t slots = (base.size() - key_len) / step + 1;
+    prev_.assign(slots, 0);
+    // Insert from the end so chains are walked front-to-back; earlier base
+    // positions are tried first, which biases COPY addresses low (slightly
+    // smaller varints) and is deterministic.
+    for (std::size_t s = slots; s-- > 0;) {
+      const std::size_t pos = s * step;
+      const std::uint32_t h = chunk_hash(base.data() + pos, key_len);
+      prev_[s] = head_[h];
+      head_[h] = static_cast<std::uint32_t>(s + 1);
+    }
+  }
+
+  /// Visit candidate base positions whose key hash matches `p`, up to
+  /// max_chain of them. `fn(pos)` returns false to stop early.
+  template <typename Fn>
+  void for_candidates(const std::uint8_t* p, std::size_t max_chain, Fn&& fn) const {
+    if (head_.empty()) return;
+    std::uint32_t slot = head_[chunk_hash(p, key_len_)];
+    while (slot != 0 && max_chain-- > 0) {
+      if (!fn((slot - 1) * step_)) return;
+      slot = prev_[slot - 1];
+    }
+  }
+
+ private:
+  util::BytesView base_;
+  std::size_t key_len_;
+  std::size_t step_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+void put_u32le(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32le(util::BytesView in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw CorruptDelta("delta: truncated header");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+  return v;
+}
+
+void mark_chunks(std::vector<bool>& chunk_used, std::size_t addr, std::size_t len) {
+  // Mark chunks fully contained in [addr, addr + len).
+  const std::size_t first = (addr + kAnonChunkSize - 1) / kAnonChunkSize;
+  const std::size_t end = (addr + len) / kAnonChunkSize;
+  for (std::size_t c = first; c < end && c < chunk_used.size(); ++c) chunk_used[c] = true;
+}
+
+struct Match {
+  std::size_t base_pos = 0;
+  std::size_t len = 0;
+  std::size_t back = 0;   // backward extension length
+  bool in_target = false;  // self-reference into the target prefix
+};
+
+/// Incrementally built hash-chain index over the target's encoded prefix
+/// (Vdelta indexes the target as it goes; VCDIFF calls this the target
+/// window of the superstring).
+class TargetIndex {
+ public:
+  TargetIndex(util::BytesView target, std::size_t key_len)
+      : target_(target), key_len_(key_len), head_(kHashSize, 0) {
+    if (target.size() >= key_len) prev_.assign(target.size() - key_len + 1, 0);
+  }
+
+  /// Index all positions < `pos` not yet indexed.
+  void index_up_to(std::size_t pos) {
+    const std::size_t limit = std::min(pos, prev_.size());
+    for (; next_ < limit; ++next_) {
+      const std::uint32_t h = chunk_hash(target_.data() + next_, key_len_);
+      prev_[next_] = head_[h];
+      head_[h] = static_cast<std::uint32_t>(next_ + 1);
+    }
+  }
+
+  template <typename Fn>
+  void for_candidates(const std::uint8_t* p, std::size_t max_chain, Fn&& fn) const {
+    if (prev_.empty()) return;
+    std::uint32_t slot = head_[chunk_hash(p, key_len_)];
+    while (slot != 0 && max_chain-- > 0) {
+      if (!fn(static_cast<std::size_t>(slot - 1))) return;
+      slot = prev_[slot - 1];
+    }
+  }
+
+ private:
+  util::BytesView target_;
+  std::size_t key_len_;
+  std::size_t next_ = 0;  // first unindexed position
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+}  // namespace
+
+EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaParams& params) {
+  CBDE_EXPECT(params.key_len >= 2 && params.key_len <= 64);
+  CBDE_EXPECT(params.index_step >= 1);
+  CBDE_EXPECT(params.max_chain >= 1);
+  CBDE_EXPECT(params.min_match >= params.key_len);
+
+  EncodeResult result;
+  result.chunk_used.assign((base.size() + kAnonChunkSize - 1) / kAnonChunkSize, false);
+
+  util::Bytes& out = result.delta;
+  util::append(out, std::string_view("CBD1"));
+  util::put_uvarint(out, base.size());
+  util::put_uvarint(out, target.size());
+  put_u32le(out, util::crc32(base));
+  put_u32le(out, util::crc32(target));
+
+  const BaseIndex index(base, params.key_len, params.index_step);
+  // The target index is only materialized when self-reference is on (its
+  // hash table is non-trivial to zero for every light estimate otherwise).
+  std::optional<TargetIndex> tindex;
+  if (params.self_reference) tindex.emplace(target, params.key_len);
+
+  std::size_t lit_start = 0;  // start of the unflushed literal run
+  auto flush_literals = [&](std::size_t end) {
+    if (end > lit_start) {
+      const std::size_t len = end - lit_start;
+      util::put_uvarint(out, len << 1);  // ADD
+      util::append(out, target.subspan(lit_start, len));
+      result.add_bytes += len;
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos + params.key_len <= target.size()) {
+    Match best;
+    const std::size_t fwd_limit = target.size() - pos;
+    index.for_candidates(target.data() + pos, params.max_chain, [&](std::size_t bpos) {
+      const std::size_t limit = std::min(fwd_limit, base.size() - bpos);
+      if (limit < params.key_len) return true;
+      const std::size_t len = forward_match(base.data() + bpos, target.data() + pos, limit);
+      if (len >= params.key_len && len > best.len) {
+        best = Match{bpos, len, 0, false};
+        if (len == fwd_limit) return false;  // cannot do better
+      }
+      return true;
+    });
+    if (params.self_reference && best.len < params.self_ref_below &&
+        best.len < fwd_limit) {
+      // Also match against the target's own already-encoded prefix. The
+      // comparison may run past the candidate's distance to `pos` — both
+      // sides are known target bytes, and apply() copies byte-wise, so
+      // overlapping (run-like) copies reconstruct correctly.
+      tindex->index_up_to(pos);
+      // A shallow probe suffices here: the nearest prior occurrence is
+      // almost always the best self-reference, and this path runs at every
+      // position the base fails to cover.
+      const std::size_t self_chain = std::min<std::size_t>(params.max_chain, 4);
+      tindex->for_candidates(target.data() + pos, self_chain, [&](std::size_t tpos) {
+        const std::size_t len =
+            forward_match(target.data() + tpos, target.data() + pos, fwd_limit);
+        if (len >= params.key_len && len > best.len) {
+          best = Match{tpos, len, 0, true};
+          if (len == fwd_limit) return false;
+        }
+        return true;
+      });
+    }
+
+    if (best.len == 0) {
+      ++pos;
+      continue;
+    }
+    if (params.backward_extend) {
+      std::size_t back = 0;
+      if (best.in_target) {
+        while (pos - back > lit_start && best.base_pos > back &&
+               target[best.base_pos - back - 1] == target[pos - back - 1]) {
+          ++back;
+        }
+      } else {
+        while (pos - back > lit_start && best.base_pos > back &&
+               base[best.base_pos - back - 1] == target[pos - back - 1]) {
+          ++back;
+        }
+      }
+      best.back = back;
+    }
+    if (best.len + best.back < params.min_match) {
+      ++pos;
+      continue;
+    }
+    const std::size_t copy_addr = best.base_pos - best.back;
+    const std::size_t copy_len = best.len + best.back;
+    flush_literals(pos - best.back);
+    util::put_uvarint(out, (copy_len << 1) | 1);  // COPY
+    // Superstring addressing: target-prefix copies live above base_size.
+    util::put_uvarint(out, best.in_target ? base.size() + copy_addr : copy_addr);
+    result.copy_bytes += copy_len;
+    if (!best.in_target) mark_chunks(result.chunk_used, copy_addr, copy_len);
+    pos += best.len;
+    lit_start = pos;
+  }
+  flush_literals(target.size());
+  return result;
+}
+
+std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
+                                const DeltaParams& params) {
+  return encode(base, target, params).delta.size();
+}
+
+namespace {
+
+DeltaInfo parse_header(util::BytesView delta, std::size_t& pos) {
+  if (delta.size() < 4 || util::as_string_view(delta.subspan(0, 4)) != "CBD1") {
+    throw CorruptDelta("delta: bad magic");
+  }
+  pos = 4;
+  const auto base_size = util::get_uvarint(delta, pos);
+  const auto target_size = util::get_uvarint(delta, pos);
+  if (!base_size || !target_size) throw CorruptDelta("delta: bad size varint");
+  DeltaInfo info;
+  info.base_size = static_cast<std::size_t>(*base_size);
+  info.target_size = static_cast<std::size_t>(*target_size);
+  info.base_crc = get_u32le(delta, pos);
+  info.target_crc = get_u32le(delta, pos);
+  return info;
+}
+
+}  // namespace
+
+DeltaInfo inspect(util::BytesView delta) {
+  std::size_t pos = 0;
+  return parse_header(delta, pos);
+}
+
+util::Bytes apply(util::BytesView base, util::BytesView delta) {
+  std::size_t pos = 0;
+  const DeltaInfo info = parse_header(delta, pos);
+  if (info.base_size != base.size() || info.base_crc != util::crc32(base)) {
+    throw CorruptDelta("delta: base-file mismatch");
+  }
+  util::Bytes out;
+  out.reserve(info.target_size);
+  while (pos < delta.size()) {
+    const auto tag = util::get_uvarint(delta, pos);
+    if (!tag) throw CorruptDelta("delta: bad instruction tag");
+    const auto len = static_cast<std::size_t>(*tag >> 1);
+    if (out.size() + len > info.target_size) {
+      throw CorruptDelta("delta: output exceeds target size");
+    }
+    if ((*tag & 1) != 0) {  // COPY
+      const auto addr = util::get_uvarint(delta, pos);
+      if (!addr) throw CorruptDelta("delta: bad copy address");
+      if (*addr >= base.size()) {
+        // Superstring address: copy from the target's own prefix; may
+        // overlap the write frontier (byte-wise copy handles runs).
+        const auto taddr = static_cast<std::size_t>(*addr) - base.size();
+        if (len > 0 && taddr >= out.size()) {
+          throw CorruptDelta("delta: self-copy past output frontier");
+        }
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[taddr + i]);
+      } else {
+        if (*addr + len > base.size()) throw CorruptDelta("delta: copy out of range");
+        util::append(out, base.subspan(static_cast<std::size_t>(*addr), len));
+      }
+    } else {  // ADD
+      if (pos + len > delta.size()) throw CorruptDelta("delta: add out of range");
+      util::append(out, delta.subspan(pos, len));
+      pos += len;
+    }
+  }
+  if (out.size() != info.target_size) throw CorruptDelta("delta: target size mismatch");
+  if (util::crc32(util::as_view(out)) != info.target_crc) {
+    throw CorruptDelta("delta: target checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace cbde::delta

@@ -1,0 +1,102 @@
+// Vdelta-style delta encoding (Hunt, Vo & Tichy, ACM TOSEM '98), as used by
+// the paper (§II, §III fn.2, §V).
+//
+// encode() builds a hash index over the base-file keyed on fixed-size byte
+// chunks and scans the target for maximal matches, emitting a stream of
+// COPY(base_addr, len) and ADD(bytes) instructions. Two parameterizations
+// matter to the paper:
+//   * full  — 4-byte keys, every position indexed, deep chain search,
+//             forward AND backward match extension; used for transmission.
+//   * light — larger chunks, sparse index, shallow search, forward-only;
+//             used to *estimate* closeness during class grouping (§III).
+//
+// encode() also reports, per 4-byte base chunk, whether the chunk was part
+// of any COPY — exactly the commonality signal the anonymization process
+// (§V) counts across documents.
+//
+// Wire format ("CBD1"):
+//   "CBD1" | uvarint base_size | uvarint target_size |
+//   crc32(base) LE | crc32(target) LE |
+//   instruction*  where instruction = uvarint(len<<1 | is_copy) followed by
+//   uvarint base_addr for COPY or `len` raw bytes for ADD.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cbde::delta {
+
+/// Anonymization granularity: the 4-byte chunks of §V.
+inline constexpr std::size_t kAnonChunkSize = 4;
+
+/// Thrown by apply() on malformed deltas or a base-file mismatch.
+class CorruptDelta : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct DeltaParams {
+  std::size_t key_len = 4;        ///< match key size (hash chunk width)
+  std::size_t index_step = 1;     ///< index every step-th base position
+  std::size_t max_chain = 32;     ///< candidates probed per target position
+  bool backward_extend = true;    ///< extend matches backwards (Vdelta-style)
+  /// Shortest match worth a COPY instruction. Short matches cost nearly as
+  /// many instruction bytes as they save and shred the ADD runs the
+  /// downstream gzip pass needs; empirically min_match = 32 leaves the
+  /// compressed delta no larger while letting gzip contribute its ~2x (the
+  /// paper's "a factor of 2 on average is thanks to compression").
+  std::size_t min_match = 32;
+  /// Vdelta also matches against the already-encoded prefix of the target
+  /// itself (the VCDIFF "superstring" convention: COPY addresses >=
+  /// base_size refer into the target). Captures self-repetitive documents
+  /// even with an unrelated base.
+  bool self_reference = true;
+  /// The target index is only probed when the best base match is shorter
+  /// than this — long base matches are already good enough, and skipping
+  /// the second probe keeps the common template-heavy path fast.
+  std::size_t self_ref_below = 64;
+
+  /// Transmission-quality configuration.
+  static DeltaParams full() { return DeltaParams{4, 1, 32, true, 32, true}; }
+
+  /// Cheap estimation configuration for grouping (paper §III fn.2: "larger
+  /// byte-chunks and only traverses the file in the forward direction").
+  static DeltaParams light() { return DeltaParams{8, 8, 4, false, 16, false}; }
+};
+
+struct EncodeResult {
+  util::Bytes delta;
+  /// chunk_used[i] == true iff base chunk [4i, 4i+4) was fully contained in
+  /// some COPY instruction. Sized ceil(base_size / 4).
+  std::vector<bool> chunk_used;
+  std::size_t copy_bytes = 0;  ///< target bytes produced by COPY
+  std::size_t add_bytes = 0;   ///< target bytes produced by ADD
+};
+
+/// Compute the delta that transforms `base` into `target`.
+EncodeResult encode(util::BytesView base, util::BytesView target,
+                    const DeltaParams& params = DeltaParams::full());
+
+/// Size in bytes of the delta only (no coverage bookkeeping). With
+/// DeltaParams::light() this is the grouping-time closeness estimate.
+std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
+                                const DeltaParams& params = DeltaParams::light());
+
+/// Reconstruct the target from `base` + `delta`. Verifies that `base` is the
+/// base-file the delta was computed against (crc) and that the output
+/// matches the recorded target checksum. Throws CorruptDelta otherwise.
+util::Bytes apply(util::BytesView base, util::BytesView delta);
+
+/// Parsed header of a delta, for inspection without applying it.
+struct DeltaInfo {
+  std::size_t base_size = 0;
+  std::size_t target_size = 0;
+  std::uint32_t base_crc = 0;
+  std::uint32_t target_crc = 0;
+};
+DeltaInfo inspect(util::BytesView delta);
+
+}  // namespace cbde::delta

@@ -1,0 +1,328 @@
+#include "delta/vcdiff.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+#include "util/varint.hpp"
+
+namespace cbde::delta {
+namespace {
+
+constexpr std::size_t kHashBits = 17;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+constexpr std::uint8_t kTagAdd = 0;
+constexpr std::uint8_t kTagRun = 1;
+constexpr std::uint8_t kTagCopyBase = 2;  // kTagCopyBase + mode
+
+constexpr std::size_t kModeSelf = 0;
+constexpr std::size_t kModeHere = 1;
+constexpr std::size_t kModeNear0 = 2;
+
+inline std::uint32_t key_hash(const std::uint8_t* p, std::size_t key_len) {
+  return static_cast<std::uint32_t>(util::fnv1a64(p, key_len) >> (64 - kHashBits));
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Address encoder/decoder state: sequential prediction ("here") plus a
+/// ring of recently used copy addresses (the RFC's near cache).
+class AddressCache {
+ public:
+  explicit AddressCache(std::size_t near_slots) : near_(near_slots, 0) {}
+
+  /// Choose the cheapest mode for `addr`; appends the encoded address to
+  /// `out` and returns the mode.
+  std::size_t encode(util::Bytes& out, std::size_t addr) {
+    std::size_t best_mode = kModeSelf;
+    std::size_t best_size = util::uvarint_size(addr);
+    const std::uint64_t here_enc = zigzag(static_cast<std::int64_t>(addr) -
+                                          static_cast<std::int64_t>(predicted_));
+    if (util::uvarint_size(here_enc) < best_size) {
+      best_mode = kModeHere;
+      best_size = util::uvarint_size(here_enc);
+    }
+    for (std::size_t j = 0; j < near_.size(); ++j) {
+      const std::uint64_t enc = zigzag(static_cast<std::int64_t>(addr) -
+                                       static_cast<std::int64_t>(near_[j]));
+      if (util::uvarint_size(enc) < best_size) {
+        best_mode = kModeNear0 + j;
+        best_size = util::uvarint_size(enc);
+      }
+    }
+    if (best_mode == kModeSelf) {
+      util::put_uvarint(out, addr);
+    } else if (best_mode == kModeHere) {
+      util::put_uvarint(out, here_enc);
+    } else {
+      util::put_uvarint(out, zigzag(static_cast<std::int64_t>(addr) -
+                                    static_cast<std::int64_t>(near_[best_mode - kModeNear0])));
+    }
+    return best_mode;
+  }
+
+  /// Decode an address for `mode` from `in` at `pos`.
+  std::size_t decode(util::BytesView in, std::size_t& pos, std::size_t mode) {
+    const auto raw = util::get_uvarint(in, pos);
+    if (!raw) throw CorruptDelta("vcdiff: bad address varint");
+    std::int64_t addr = 0;
+    if (mode == kModeSelf) {
+      addr = static_cast<std::int64_t>(*raw);
+    } else if (mode == kModeHere) {
+      addr = static_cast<std::int64_t>(predicted_) + unzigzag(*raw);
+    } else {
+      const std::size_t slot = mode - kModeNear0;
+      if (slot >= near_.size()) throw CorruptDelta("vcdiff: bad address mode");
+      addr = static_cast<std::int64_t>(near_[slot]) + unzigzag(*raw);
+    }
+    if (addr < 0) throw CorruptDelta("vcdiff: negative address");
+    return static_cast<std::size_t>(addr);
+  }
+
+  void update(std::size_t addr, std::size_t len) {
+    predicted_ = addr + len;
+    near_[next_slot_] = addr;
+    next_slot_ = (next_slot_ + 1) % near_.size();
+  }
+
+ private:
+  std::vector<std::size_t> near_;
+  std::size_t next_slot_ = 0;
+  std::size_t predicted_ = 0;
+};
+
+/// Hash-chain index over the base (same structure as the native encoder).
+class Matcher {
+ public:
+  Matcher(util::BytesView base, std::size_t key_len, std::size_t max_chain)
+      : base_(base), key_len_(key_len), max_chain_(max_chain), head_(kHashSize, 0) {
+    if (base.size() < key_len) return;
+    prev_.assign(base.size() - key_len + 1, 0);
+    for (std::size_t pos = prev_.size(); pos-- > 0;) {
+      const std::uint32_t h = key_hash(base.data() + pos, key_len);
+      prev_[pos] = head_[h];
+      head_[h] = static_cast<std::uint32_t>(pos + 1);
+    }
+  }
+
+  struct Match {
+    std::size_t addr = 0;
+    std::size_t len = 0;
+  };
+
+  Match find(util::BytesView target, std::size_t pos) const {
+    Match best;
+    if (head_.empty() || pos + key_len_ > target.size()) return best;
+    const std::size_t limit_total = target.size() - pos;
+    std::uint32_t cand = head_[key_hash(target.data() + pos, key_len_)];
+    std::size_t chain = max_chain_;
+    while (cand != 0 && chain-- > 0) {
+      const std::size_t bpos = cand - 1;
+      const std::size_t limit = std::min(limit_total, base_.size() - bpos);
+      std::size_t len = 0;
+      while (len < limit && base_[bpos + len] == target[pos + len]) ++len;
+      if (len > best.len) {
+        best = Match{bpos, len};
+        if (len == limit_total) break;
+      }
+      cand = prev_[bpos];
+    }
+    return best;
+  }
+
+ private:
+  util::BytesView base_;
+  std::size_t key_len_;
+  std::size_t max_chain_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+std::size_t run_length(util::BytesView target, std::size_t pos) {
+  const std::uint8_t byte = target[pos];
+  std::size_t len = 1;
+  while (pos + len < target.size() && target[pos + len] == byte) ++len;
+  return len;
+}
+
+void put_u32le(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32le(util::BytesView in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw CorruptDelta("vcdiff: truncated header");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+  return v;
+}
+
+struct Sections {
+  VcdiffInfo info;
+  std::size_t near_slots = 4;
+  util::BytesView data;
+  util::BytesView inst;
+  util::BytesView addr;
+};
+
+Sections parse_container(util::BytesView delta) {
+  std::size_t pos = 0;
+  if (delta.size() < 4 || util::as_string_view(delta.subspan(0, 4)) != "VCD1") {
+    throw CorruptDelta("vcdiff: bad magic");
+  }
+  pos = 4;
+  Sections s;
+  const auto base_size = util::get_uvarint(delta, pos);
+  const auto target_size = util::get_uvarint(delta, pos);
+  if (!base_size || !target_size) throw CorruptDelta("vcdiff: bad sizes");
+  s.info.base_size = static_cast<std::size_t>(*base_size);
+  s.info.target_size = static_cast<std::size_t>(*target_size);
+  s.info.base_crc = get_u32le(delta, pos);
+  s.info.target_crc = get_u32le(delta, pos);
+  if (pos >= delta.size()) throw CorruptDelta("vcdiff: truncated header");
+  s.near_slots = delta[pos++];
+  if (s.near_slots < 1 || s.near_slots > 16) throw CorruptDelta("vcdiff: bad near size");
+  const auto data_len = util::get_uvarint(delta, pos);
+  const auto inst_len = util::get_uvarint(delta, pos);
+  const auto addr_len = util::get_uvarint(delta, pos);
+  if (!data_len || !inst_len || !addr_len) throw CorruptDelta("vcdiff: bad section sizes");
+  s.info.data_section = static_cast<std::size_t>(*data_len);
+  s.info.inst_section = static_cast<std::size_t>(*inst_len);
+  s.info.addr_section = static_cast<std::size_t>(*addr_len);
+  if (pos + s.info.data_section + s.info.inst_section + s.info.addr_section !=
+      delta.size()) {
+    throw CorruptDelta("vcdiff: section sizes do not match container");
+  }
+  s.data = delta.subspan(pos, s.info.data_section);
+  s.inst = delta.subspan(pos + s.info.data_section, s.info.inst_section);
+  s.addr = delta.subspan(pos + s.info.data_section + s.info.inst_section,
+                         s.info.addr_section);
+  return s;
+}
+
+}  // namespace
+
+util::Bytes vcdiff_encode(util::BytesView base, util::BytesView target,
+                          const VcdiffParams& params) {
+  CBDE_EXPECT(params.key_len >= 2 && params.key_len <= 64);
+  CBDE_EXPECT(params.min_match >= params.key_len);
+  CBDE_EXPECT(params.max_chain >= 1);
+  CBDE_EXPECT(params.min_run >= 2);
+  CBDE_EXPECT(params.near_slots >= 1 && params.near_slots <= 16);
+
+  const Matcher matcher(base, params.key_len, params.max_chain);
+  AddressCache cache(params.near_slots);
+
+  util::Bytes data;
+  util::Bytes inst;
+  util::Bytes addr;
+
+  std::size_t lit_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    if (end > lit_start) {
+      inst.push_back(kTagAdd);
+      util::put_uvarint(inst, end - lit_start);
+      util::append(data, target.subspan(lit_start, end - lit_start));
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < target.size()) {
+    // RUN detection first: long same-byte stretches are cheaper as RUN.
+    const std::size_t run = run_length(target, pos);
+    if (run >= params.min_run) {
+      flush_literals(pos);
+      inst.push_back(kTagRun);
+      util::put_uvarint(inst, run);
+      data.push_back(target[pos]);
+      pos += run;
+      lit_start = pos;
+      continue;
+    }
+    const auto match = matcher.find(target, pos);
+    if (match.len >= params.min_match) {
+      flush_literals(pos);
+      const std::size_t mode = cache.encode(addr, match.addr);
+      inst.push_back(static_cast<std::uint8_t>(kTagCopyBase + mode));
+      util::put_uvarint(inst, match.len);
+      cache.update(match.addr, match.len);
+      pos += match.len;
+      lit_start = pos;
+      continue;
+    }
+    ++pos;
+  }
+  flush_literals(target.size());
+
+  util::Bytes out;
+  out.reserve(24 + data.size() + inst.size() + addr.size());
+  util::append(out, std::string_view("VCD1"));
+  util::put_uvarint(out, base.size());
+  util::put_uvarint(out, target.size());
+  put_u32le(out, util::crc32(base));
+  put_u32le(out, util::crc32(target));
+  out.push_back(static_cast<std::uint8_t>(params.near_slots));
+  util::put_uvarint(out, data.size());
+  util::put_uvarint(out, inst.size());
+  util::put_uvarint(out, addr.size());
+  util::append(out, util::as_view(data));
+  util::append(out, util::as_view(inst));
+  util::append(out, util::as_view(addr));
+  return out;
+}
+
+util::Bytes vcdiff_apply(util::BytesView base, util::BytesView delta) {
+  const Sections s = parse_container(delta);
+  if (s.info.base_size != base.size() || s.info.base_crc != util::crc32(base)) {
+    throw CorruptDelta("vcdiff: base-file mismatch");
+  }
+
+  AddressCache cache(s.near_slots);
+  util::Bytes out;
+  out.reserve(s.info.target_size);
+  std::size_t data_pos = 0;
+  std::size_t inst_pos = 0;
+  std::size_t addr_pos = 0;
+
+  while (inst_pos < s.inst.size()) {
+    const std::uint8_t tag = s.inst[inst_pos++];
+    const auto size = util::get_uvarint(s.inst, inst_pos);
+    if (!size) throw CorruptDelta("vcdiff: bad instruction size");
+    const auto len = static_cast<std::size_t>(*size);
+    if (tag == kTagAdd) {
+      if (data_pos + len > s.data.size()) throw CorruptDelta("vcdiff: ADD past data");
+      util::append(out, s.data.subspan(data_pos, len));
+      data_pos += len;
+    } else if (tag == kTagRun) {
+      if (data_pos >= s.data.size()) throw CorruptDelta("vcdiff: RUN past data");
+      out.insert(out.end(), len, s.data[data_pos++]);
+    } else {
+      const std::size_t mode = static_cast<std::size_t>(tag) - kTagCopyBase;
+      const std::size_t copy_addr = cache.decode(s.addr, addr_pos, mode);
+      if (copy_addr + len > base.size()) throw CorruptDelta("vcdiff: COPY out of range");
+      util::append(out, base.subspan(copy_addr, len));
+      cache.update(copy_addr, len);
+    }
+    if (out.size() > s.info.target_size) {
+      throw CorruptDelta("vcdiff: output exceeds target size");
+    }
+  }
+  if (data_pos != s.data.size() || addr_pos != s.addr.size()) {
+    throw CorruptDelta("vcdiff: trailing section bytes");
+  }
+  if (out.size() != s.info.target_size) throw CorruptDelta("vcdiff: target size mismatch");
+  if (util::crc32(util::as_view(out)) != s.info.target_crc) {
+    throw CorruptDelta("vcdiff: target checksum mismatch");
+  }
+  return out;
+}
+
+VcdiffInfo vcdiff_inspect(util::BytesView delta) { return parse_container(delta).info; }
+
+}  // namespace cbde::delta

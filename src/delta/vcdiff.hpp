@@ -1,0 +1,53 @@
+// VCDIFF-style delta format (Korn & Vo, the paper's reference [12]; later
+// RFC 3284).
+//
+// A second delta backend alongside the native "CBD1" format, implementing
+// the VCDIFF design: ADD / COPY / RUN instructions, a COPY address encoded
+// against SELF and HERE modes plus a near-address cache, and separate
+// data / instruction / address sections per window (which is what makes
+// VCDIFF streams compress well). The container is VCDIFF-shaped rather than
+// byte-exact RFC wire format: we keep the standard's structure (magic,
+// window header, three sections, address modes) but use our varint and a
+// single window, and we do not emit the RFC's instruction code table —
+// instructions are tagged explicitly.
+//
+// Useful for cross-checking the native encoder (both must reconstruct
+// identical targets) and for the format ablation in bench_delta_micro.
+#pragma once
+
+#include <cstdint>
+
+#include "delta/delta.hpp"
+#include "util/bytes.hpp"
+
+namespace cbde::delta {
+
+struct VcdiffParams {
+  std::size_t key_len = 4;      ///< match key width
+  std::size_t max_chain = 32;   ///< hash-chain probe depth
+  std::size_t min_match = 16;   ///< shortest COPY worth emitting
+  std::size_t min_run = 16;     ///< shortest byte-run worth a RUN instruction
+  std::size_t near_slots = 4;   ///< near-address cache size (RFC uses 4)
+};
+
+/// Encode `target` against `base` in the VCDIFF-style format ("VCD1").
+util::Bytes vcdiff_encode(util::BytesView base, util::BytesView target,
+                          const VcdiffParams& params = {});
+
+/// Reconstruct the target. Throws CorruptDelta on malformed input, a
+/// base-file mismatch, or a checksum failure.
+util::Bytes vcdiff_apply(util::BytesView base, util::BytesView delta);
+
+/// Header introspection.
+struct VcdiffInfo {
+  std::size_t base_size = 0;
+  std::size_t target_size = 0;
+  std::uint32_t base_crc = 0;
+  std::uint32_t target_crc = 0;
+  std::size_t data_section = 0;   ///< bytes of literal data
+  std::size_t inst_section = 0;   ///< bytes of instructions
+  std::size_t addr_section = 0;   ///< bytes of copy addresses
+};
+VcdiffInfo vcdiff_inspect(util::BytesView delta);
+
+}  // namespace cbde::delta

@@ -1,0 +1,69 @@
+// HTTP/1.1 request/response model with byte-exact parse and serialize.
+//
+// The simulated pipeline carries real HTTP messages so that byte accounting
+// (Table II) includes genuine framing overhead and so the delta-server's
+// header handling (X-CBDE-* extension headers) is exercised for real.
+// Supported: Content-Length bodies and chunked transfer decoding; enough
+// for the architecture of Fig. 2.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cbde::http {
+
+class HttpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Ordered, case-insensitive header collection. Duplicate names are kept
+/// (get returns the first).
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+  /// Replace all occurrences of `name` with a single entry.
+  void set(std::string name, std::string value);
+  void remove(std::string_view name);
+  std::optional<std::string_view> get(std::string_view name) const;
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";  ///< origin-form request target
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  util::Bytes body;
+
+  util::Bytes serialize() const;
+  static HttpRequest parse(util::BytesView raw);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  util::Bytes body;
+
+  util::Bytes serialize() const;
+  static HttpResponse parse(util::BytesView raw);
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Modified", ...).
+std::string_view reason_phrase(int status);
+
+}  // namespace cbde::http

@@ -1,0 +1,67 @@
+#include "http/partition.hpp"
+
+namespace cbde::http {
+
+PartitionRule::PartitionRule(const std::string& pattern)
+    : pattern_(pattern), regex_(pattern, std::regex::ECMAScript | std::regex::optimize) {}
+
+std::optional<UrlParts> PartitionRule::apply(const Url& url) const {
+  std::smatch match;
+  const std::string target = url.request_target();
+  if (!std::regex_search(target, match, regex_) || match.size() < 2) {
+    return std::nullopt;
+  }
+  UrlParts parts;
+  parts.server_part = url.host;
+  parts.hint_part = match[1].str();
+  if (match.size() >= 3 && match[2].matched) parts.rest = match[2].str();
+  return parts;
+}
+
+UrlParts default_partition(const Url& url) {
+  UrlParts parts;
+  parts.server_part = url.host;
+
+  const auto segments = path_segments(url.path);
+  if (!segments.empty()) {
+    parts.hint_part = std::string(segments.front());
+    std::string rest;
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      if (!rest.empty()) rest += '/';
+      rest += segments[i];
+    }
+    if (!url.query.empty()) {
+      if (!rest.empty()) rest += '?';
+      rest += url.query;
+    }
+    parts.rest = std::move(rest);
+    return parts;
+  }
+
+  const auto items = query_items(url.query);
+  if (!items.empty()) {
+    parts.hint_part = std::string(items.front());
+    std::string rest;
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      if (!rest.empty()) rest += '&';
+      rest += items[i];
+    }
+    parts.rest = std::move(rest);
+  }
+  return parts;
+}
+
+void RuleBook::add_rule(const std::string& host, PartitionRule rule) {
+  rules_.insert_or_assign(host, std::move(rule));
+}
+
+bool RuleBook::has_rule(const std::string& host) const { return rules_.contains(host); }
+
+UrlParts RuleBook::partition(const Url& url) const {
+  if (const auto it = rules_.find(url.host); it != rules_.end()) {
+    if (auto parts = it->second.apply(url)) return *parts;
+  }
+  return default_partition(url);
+}
+
+}  // namespace cbde::http

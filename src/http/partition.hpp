@@ -1,0 +1,73 @@
+// URL partitioning for class grouping (paper §III, Table I).
+//
+// Every URL is split into three parts:
+//   server-part — the host ("the string from the beginning of the URL till
+//                 the first slash");
+//   hint-part   — the portion that hints at content similarity (e.g. the
+//                 product category);
+//   rest        — everything else.
+//
+// How the hint is extracted depends on how a site organizes its content, so
+// the administrator can register a regular expression per host (capture
+// group 1 = hint, capture group 2 = rest, applied to the request target).
+// Sites without a rule fall back to a heuristic that reproduces all three
+// rows of the paper's Table I.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <regex>
+#include <string>
+
+#include "http/url.hpp"
+
+namespace cbde::http {
+
+struct UrlParts {
+  std::string server_part;
+  std::string hint_part;
+  std::string rest;
+
+  bool operator==(const UrlParts&) const = default;
+};
+
+/// Administrator-supplied partition rule: an ECMAScript regex matched
+/// against the request target ("/path?query"). Group 1 becomes the
+/// hint-part, group 2 (optional) the rest.
+class PartitionRule {
+ public:
+  explicit PartitionRule(const std::string& pattern);
+
+  /// Returns nullopt if the regex does not match the target.
+  std::optional<UrlParts> apply(const Url& url) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+  std::regex regex_;
+};
+
+/// Heuristic partition used when no rule is registered:
+///   * first non-empty path segment, if any, is the hint; the remaining
+///     segments plus the query form the rest ("/laptops?id=100",
+///     "/laptops/100");
+///   * otherwise the first query item is the hint and the remaining items
+///     the rest ("/?dept=laptops&id=100").
+UrlParts default_partition(const Url& url);
+
+/// Per-host rule registry with heuristic fallback.
+class RuleBook {
+ public:
+  void add_rule(const std::string& host, PartitionRule rule);
+  bool has_rule(const std::string& host) const;
+
+  /// Partition a URL using the host's rule if present and matching, else
+  /// the default heuristic.
+  UrlParts partition(const Url& url) const;
+
+ private:
+  std::map<std::string, PartitionRule> rules_;
+};
+
+}  // namespace cbde::http

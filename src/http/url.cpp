@@ -1,0 +1,80 @@
+#include "http/url.hpp"
+
+namespace cbde::http {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host + path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::string Url::request_target() const {
+  std::string out = path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+Url parse_url(std::string_view raw) {
+  Url url;
+  url.scheme = "http";
+  std::string_view rest = raw;
+
+  const std::size_t scheme_end = rest.find("://");
+  if (scheme_end != std::string_view::npos) {
+    url.scheme = std::string(rest.substr(0, scheme_end));
+    rest = rest.substr(scheme_end + 3);
+  }
+  const std::size_t path_start = rest.find('/');
+  if (path_start == std::string_view::npos) {
+    url.host = std::string(rest);
+    url.path = "/";
+  } else {
+    url.host = std::string(rest.substr(0, path_start));
+    std::string_view path_query = rest.substr(path_start);
+    const std::size_t q = path_query.find('?');
+    if (q == std::string_view::npos) {
+      url.path = std::string(path_query);
+    } else {
+      url.path = std::string(path_query.substr(0, q));
+      url.query = std::string(path_query.substr(q + 1));
+    }
+  }
+  if (url.host.empty()) throw UrlError("url: empty host in '" + std::string(raw) + "'");
+  return url;
+}
+
+std::vector<std::string_view> path_segments(std::string_view path) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+std::vector<std::string_view> query_items(std::string_view query) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    if (end > start) out.push_back(query.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace cbde::http

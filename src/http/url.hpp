@@ -1,0 +1,42 @@
+// Minimal URL model sufficient for the paper's grouping scheme.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbde::http {
+
+class UrlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Url {
+  std::string scheme;  ///< "http" if absent in the input
+  std::string host;    ///< e.g. "www.foo.com" (may include :port)
+  std::string path;    ///< always begins with '/'; "/" if absent
+  std::string query;   ///< without the leading '?', may be empty
+
+  /// Canonical string form, e.g. "http://www.foo.com/laptops?id=100".
+  std::string to_string() const;
+
+  /// Path + optional query, e.g. "/laptops?id=100" — the HTTP request target.
+  std::string request_target() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+/// Parse an absolute URL ("http://host/path?q") or a scheme-less one
+/// ("host/path?q", as access logs often record). Throws UrlError if the
+/// host is empty or the input is unusable.
+Url parse_url(std::string_view raw);
+
+/// Split a path into its non-empty segments: "/a/b/" -> {"a", "b"}.
+std::vector<std::string_view> path_segments(std::string_view path);
+
+/// Split a query string into "k=v" items (on '&'); empty items dropped.
+std::vector<std::string_view> query_items(std::string_view query);
+
+}  // namespace cbde::http

@@ -1,0 +1,32 @@
+#include "netsim/event.hpp"
+
+namespace cbde::netsim {
+
+void EventQueue::schedule(util::SimTime at, Callback fn) {
+  CBDE_EXPECT(at >= now_);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handle —
+  // standard practice for move-only payloads in a pq we immediately pop.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.at;
+  entry.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && run_next()) ++fired;
+  return fired;
+}
+
+void EventQueue::run_until(util::SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) run_next();
+  now_ = std::max(now_, until);
+}
+
+}  // namespace cbde::netsim

@@ -1,0 +1,55 @@
+// Analytic TCP transfer-latency model (paper §VI-A).
+//
+// The paper converts bandwidth savings into latency savings by reasoning
+// about TCP behaviour: on a high-bandwidth path the download time of a
+// document is dominated by slow-start rounds (so L1/L2 ~ log2(S1/S2)); on a
+// 56 kb/s modem the transmission time dominates (L1/L2 linear in S1/S2),
+// moderated by connection setup, queueing and retransmission costs that push
+// the observed ratio to "around 10". This module implements that model so
+// the benches can *measure* those ratios instead of asserting them.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace cbde::netsim {
+
+struct LinkProfile {
+  double bandwidth_bps = 10e6;          ///< bottleneck link rate
+  util::SimTime rtt = 50 * util::kMillisecond;
+  std::size_t mss = 1460;               ///< TCP segment payload bytes
+  std::size_t init_cwnd = 1;            ///< initial congestion window (segments)
+  double loss_rate = 0.0;               ///< per-segment loss probability
+  util::SimTime queueing_delay = 0;     ///< fixed one-way queueing term
+
+  /// 56 kb/s modem with 100 ms RTT (the paper's low-bandwidth case),
+  /// including a typical dial-up loss rate and queueing delay.
+  static LinkProfile modem();
+
+  /// High-bandwidth access path (the paper's "high-bandwidth connection"):
+  /// fast enough that slow-start rounds dominate transfer time.
+  static LinkProfile broadband();
+};
+
+struct LatencyBreakdown {
+  util::SimTime setup = 0;         ///< TCP handshake + request round-trip
+  util::SimTime slow_start = 0;    ///< RTT-bound rounds before the pipe fills
+  util::SimTime transmission = 0;  ///< serialization time at the bottleneck
+  util::SimTime loss_penalty = 0;  ///< expected retransmission cost
+  util::SimTime queueing = 0;
+  int rounds = 0;                  ///< RTT rounds spent growing the window
+
+  util::SimTime total() const {
+    return setup + slow_start + transmission + loss_penalty + queueing;
+  }
+  /// Response latency excluding connection setup (persistent connections).
+  util::SimTime total_no_setup() const {
+    return slow_start + transmission + loss_penalty + queueing;
+  }
+};
+
+/// Expected latency to deliver `bytes` of response over a fresh connection.
+LatencyBreakdown transfer_latency(std::size_t bytes, const LinkProfile& link);
+
+}  // namespace cbde::netsim

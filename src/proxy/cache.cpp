@@ -1,0 +1,52 @@
+#include "proxy/cache.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbde::proxy {
+
+LruCache::LruCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+  CBDE_EXPECT(capacity_bytes > 0);
+}
+
+std::optional<util::BytesView> LruCache::get(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  ++stats_.hits;
+  stats_.bytes_served += it->second->body.size();
+  return util::as_view(it->second->body);
+}
+
+void LruCache::put(const std::string& key, util::Bytes body) {
+  stats_.bytes_fetched += body.size();
+  ++stats_.insertions;
+  erase(key);
+  if (body.size() > capacity_) return;  // would evict everything; don't store
+  evict_until_fits(body.size());
+  size_bytes_ += body.size();
+  entries_.push_front(Entry{key, std::move(body)});
+  index_[key] = entries_.begin();
+}
+
+void LruCache::erase(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  size_bytes_ -= it->second->body.size();
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::evict_until_fits(std::size_t incoming) {
+  while (size_bytes_ + incoming > capacity_ && !entries_.empty()) {
+    const Entry& victim = entries_.back();
+    size_bytes_ -= victim.body.size();
+    index_.erase(victim.key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cbde::proxy

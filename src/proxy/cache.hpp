@@ -1,0 +1,69 @@
+// Byte-capacity LRU proxy cache.
+//
+// In the paper's architecture (Fig. 2) proxy-caches are unmodified: dynamic
+// responses remain uncachable, but anonymized base-files are marked cachable
+// and proxies serve them "as usual, resulting in the known benefits of
+// proxy-caching" (§VI-B/C). The pipeline simulation uses this cache for
+// base-file distribution so Table-II-style accounting credits proxy hits.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace cbde::proxy {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_served = 0;   ///< body bytes answered from cache
+  std::uint64_t bytes_fetched = 0;  ///< body bytes inserted (origin fetches)
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class LruCache {
+ public:
+  /// `capacity_bytes` bounds the sum of stored body sizes.
+  explicit LruCache(std::size_t capacity_bytes);
+
+  /// Look up a cachable object; refreshes recency and updates stats.
+  std::optional<util::BytesView> get(const std::string& key);
+
+  /// Insert (or replace) an object. Objects larger than the whole cache are
+  /// counted as fetched but not stored.
+  void put(const std::string& key, util::Bytes body);
+
+  void erase(const std::string& key);
+  bool contains(const std::string& key) const { return index_.contains(key); }
+
+  std::size_t size_bytes() const { return size_bytes_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t entries() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    util::Bytes body;
+  };
+
+  void evict_until_fits(std::size_t incoming);
+
+  std::size_t capacity_;
+  std::size_t size_bytes_ = 0;
+  std::list<Entry> entries_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace cbde::proxy

@@ -1,0 +1,59 @@
+// Greedy-Dual-Size-Frequency cache replacement.
+//
+// The paper cites greedy-dual caching (Jin & Bestavros [11]) as the
+// state-of-the-art proxy replacement family. GDSF assigns each object the
+// priority  L + frequency * cost / size  (cost = 1 for byte-neutral
+// caching), evicts the minimum-priority object, and sets the aging clock L
+// to the evicted priority — small, popular objects survive, and recency is
+// captured by the rising clock. Provided alongside LruCache so the hit-rate
+// experiments can compare policies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "proxy/cache.hpp"
+#include "util/bytes.hpp"
+
+namespace cbde::proxy {
+
+class GreedyDualCache {
+ public:
+  explicit GreedyDualCache(std::size_t capacity_bytes);
+
+  std::optional<util::BytesView> get(const std::string& key);
+  void put(const std::string& key, util::Bytes body);
+  void erase(const std::string& key);
+  bool contains(const std::string& key) const { return entries_.contains(key); }
+
+  std::size_t size_bytes() const { return size_bytes_; }
+  std::size_t entries() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    util::Bytes body;
+    double priority = 0;
+    std::uint64_t freq = 0;
+    std::uint64_t seq = 0;  // tie-break in the priority index
+  };
+
+  double priority_of(const Entry& entry) const;
+  void reindex(const std::string& key, Entry& entry);
+  void evict_until_fits(std::size_t incoming);
+
+  std::size_t capacity_;
+  std::size_t size_bytes_ = 0;
+  double clock_ = 0;  // the aging term L
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  /// (priority, seq) -> key; begin() is the eviction victim.
+  std::map<std::pair<double, std::uint64_t>, std::string> by_priority_;
+  CacheStats stats_;
+};
+
+}  // namespace cbde::proxy

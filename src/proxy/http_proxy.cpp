@@ -1,0 +1,37 @@
+#include "proxy/http_proxy.hpp"
+
+#include "util/strings.hpp"
+
+namespace cbde::proxy {
+
+HttpProxy::HttpProxy(std::size_t capacity_bytes, Upstream upstream)
+    : cache_(capacity_bytes), upstream_(std::move(upstream)) {}
+
+std::string HttpProxy::cache_key(const http::HttpRequest& request) {
+  const auto host = request.headers.get("Host");
+  return std::string(host.value_or("")) + "|" + request.target;
+}
+
+bool HttpProxy::is_cachable(const http::HttpResponse& response) {
+  if (response.status != 200) return false;
+  const auto cc = response.headers.get("Cache-Control");
+  if (!cc) return false;
+  // Conservative stock-proxy behaviour: cache only explicit "public".
+  return cc->find("public") != std::string_view::npos;
+}
+
+http::HttpResponse HttpProxy::handle(const http::HttpRequest& request) {
+  if (request.method != "GET") return upstream_(request);
+  const std::string key = cache_key(request);
+  if (const auto hit = cache_.get(key)) {
+    // Cached object: replay it (stored in serialized form).
+    return http::HttpResponse::parse(*hit);
+  }
+  http::HttpResponse response = upstream_(request);
+  if (is_cachable(response)) {
+    cache_.put(key, response.serialize());
+  }
+  return response;
+}
+
+}  // namespace cbde::proxy

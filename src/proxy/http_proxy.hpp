@@ -1,0 +1,41 @@
+// An *unmodified* HTTP proxy-cache.
+//
+// The paper's deployment requires zero proxy changes: ordinary HTTP caching
+// semantics are enough, because dynamic responses stay "Cache-Control:
+// no-cache" while anonymized base-files are "public". This proxy implements
+// exactly those semantics on top of the byte-capacity LruCache, so the
+// HTTP-level pipeline can demonstrate base-file distribution through stock
+// infrastructure.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "http/message.hpp"
+#include "proxy/cache.hpp"
+
+namespace cbde::proxy {
+
+/// Upstream transport (the next hop towards the origin).
+using Upstream = std::function<http::HttpResponse(const http::HttpRequest&)>;
+
+class HttpProxy {
+ public:
+  HttpProxy(std::size_t capacity_bytes, Upstream upstream);
+
+  /// Serve a request: from cache when fresh and cachable, else via the
+  /// upstream (storing public responses).
+  http::HttpResponse handle(const http::HttpRequest& request);
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  std::size_t cached_objects() const { return cache_.entries(); }
+
+ private:
+  static bool is_cachable(const http::HttpResponse& response);
+  static std::string cache_key(const http::HttpRequest& request);
+
+  LruCache cache_;
+  Upstream upstream_;
+};
+
+}  // namespace cbde::proxy

@@ -1,0 +1,48 @@
+// Closed-loop capacity harness (paper §VI-C).
+//
+// Reproduces the deployment experiment: a plain web-server (Apache-like,
+// one connection slot held for the whole request including the client
+// transfer, hard slot limit 255) versus the delta-server + web-server
+// system (the delta-server front-end holds the client connection cheaply,
+// the web-server slot is held only while the CPU works; delta generation
+// adds CPU cost). A discrete-event simulation with a single CPU resource
+// measures sustained requests/second, peak concurrency and refusal rates.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/tcp_model.hpp"
+#include "util/clock.hpp"
+
+namespace cbde::server {
+
+enum class PipelineMode {
+  kPlain,  ///< clients connect straight to the web-server
+  kDelta,  ///< clients connect to the delta-server front-end
+};
+
+struct LoadConfig {
+  PipelineMode mode = PipelineMode::kPlain;
+  std::size_t num_clients = 300;  ///< closed-loop client population
+  util::SimTime duration = 60 * util::kSecond;
+  /// Total server CPU per request. For kDelta this should include the delta
+  /// generation cost (the paper measures 6-8 ms for a 50-60 KB base-file).
+  double cpu_us_per_request = 5600;
+  std::size_t response_bytes = 30 * 1024;  ///< bytes sent to the client
+  netsim::LinkProfile client_link = netsim::LinkProfile::broadband();
+  std::size_t web_server_slots = 255;   ///< Apache MaxClients-style limit
+  std::size_t front_end_slots = 2000;   ///< delta-server connection capacity
+  util::SimTime retry_backoff = 500 * util::kMillisecond;  ///< after refusal
+};
+
+struct LoadResult {
+  std::uint64_t completed = 0;
+  std::uint64_t refused = 0;
+  double requests_per_sec = 0;
+  double mean_latency_us = 0;       ///< request issue -> response fully received
+  std::size_t peak_connections = 0; ///< max simultaneously held client-facing slots
+};
+
+LoadResult run_closed_loop(const LoadConfig& config);
+
+}  // namespace cbde::server

@@ -1,0 +1,187 @@
+#include "trace/access_log.hpp"
+
+#include <array>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace cbde::trace {
+namespace {
+
+// Trace-local epoch for CLF timestamps; only deltas matter to the replayer.
+constexpr std::chrono::sys_days kEpochDay =
+    std::chrono::sys_days(std::chrono::year{2026} / std::chrono::January / 1);
+
+constexpr std::array<std::string_view, 12> kMonths = {"Jan", "Feb", "Mar", "Apr",
+                                                      "May", "Jun", "Jul", "Aug",
+                                                      "Sep", "Oct", "Nov", "Dec"};
+
+std::string format_time(util::SimTime t) {
+  const auto total_secs = std::chrono::seconds(t / util::kSecond);
+  const auto day = kEpochDay + std::chrono::floor<std::chrono::days>(total_secs);
+  const auto ymd = std::chrono::year_month_day(day);
+  const auto in_day = total_secs - std::chrono::floor<std::chrono::days>(total_secs);
+  const auto h = std::chrono::duration_cast<std::chrono::hours>(in_day);
+  const auto m = std::chrono::duration_cast<std::chrono::minutes>(in_day - h);
+  const auto s = in_day - h - m;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02u/%s/%d:%02lld:%02lld:%02lld +0000",
+                static_cast<unsigned>(ymd.day()),
+                std::string(kMonths[static_cast<unsigned>(ymd.month()) - 1]).c_str(),
+                static_cast<int>(ymd.year()), static_cast<long long>(h.count()),
+                static_cast<long long>(m.count()), static_cast<long long>(s.count()));
+  return buf;
+}
+
+std::optional<util::SimTime> parse_time(std::string_view s) {
+  // dd/Mon/yyyy:hh:mm:ss +zzzz — zone is ignored (we always write +0000).
+  if (s.size() < 20) return std::nullopt;
+  auto num = [&](std::size_t pos, std::size_t len) -> std::optional<int> {
+    int v = 0;
+    const auto [p, ec] = std::from_chars(s.data() + pos, s.data() + pos + len, v);
+    if (ec != std::errc{} || p != s.data() + pos + len) return std::nullopt;
+    return v;
+  };
+  const auto day = num(0, 2);
+  const auto year = num(7, 4);
+  const auto hh = num(12, 2);
+  const auto mm = num(15, 2);
+  const auto ss = num(18, 2);
+  if (!day || !year || !hh || !mm || !ss) return std::nullopt;
+  const std::string_view mon = s.substr(3, 3);
+  int month = -1;
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (kMonths[i] == mon) month = static_cast<int>(i) + 1;
+  }
+  if (month < 0) return std::nullopt;
+  const auto date = std::chrono::year{*year} / std::chrono::month{static_cast<unsigned>(month)} /
+                    std::chrono::day{static_cast<unsigned>(*day)};
+  if (!date.ok()) return std::nullopt;
+  const auto days = std::chrono::sys_days(date) - kEpochDay;
+  const std::int64_t secs = std::chrono::duration_cast<std::chrono::seconds>(days).count() +
+                            *hh * 3600 + *mm * 60 + *ss;
+  return secs * util::kSecond;
+}
+
+}  // namespace
+
+std::string format_clf(const AccessLogRecord& rec) {
+  std::string line = "10.0.0.1 - u" + std::to_string(rec.user_id);
+  line += " [" + format_time(rec.time) + "] \"GET ";
+  line += rec.target;
+  line += " HTTP/1.1\" ";
+  line += std::to_string(rec.status);
+  line += ' ';
+  line += std::to_string(rec.bytes);
+  line += " \"";
+  line += rec.host;  // we carry the vhost in the referer position
+  line += '"';
+  return line;
+}
+
+std::optional<AccessLogRecord> parse_clf(std::string_view line) {
+  AccessLogRecord rec;
+  // remotehost ident authuser
+  auto sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  line = line.substr(sp + 1);
+  sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  line = line.substr(sp + 1);
+  sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  std::string_view user = line.substr(0, sp);
+  if (user.starts_with('u')) user = user.substr(1);
+  {
+    std::uint64_t uid = 0;
+    const auto [p, ec] = std::from_chars(user.data(), user.data() + user.size(), uid);
+    if (ec != std::errc{} || p != user.data() + user.size()) return std::nullopt;
+    rec.user_id = uid;
+  }
+  line = line.substr(sp + 1);
+
+  // [date]
+  if (!line.starts_with('[')) return std::nullopt;
+  const auto close = line.find(']');
+  if (close == std::string_view::npos) return std::nullopt;
+  const auto time = parse_time(line.substr(1, close - 1));
+  if (!time) return std::nullopt;
+  rec.time = *time;
+  line = line.substr(close + 1);
+  if (line.starts_with(' ')) line = line.substr(1);
+
+  // "METHOD target HTTP/x.y"
+  if (!line.starts_with('"')) return std::nullopt;
+  const auto endq = line.find('"', 1);
+  if (endq == std::string_view::npos) return std::nullopt;
+  const auto req_parts = util::split(line.substr(1, endq - 1), ' ');
+  if (req_parts.size() != 3) return std::nullopt;
+  rec.target = std::string(req_parts[1]);
+  line = line.substr(endq + 1);
+  if (line.starts_with(' ')) line = line.substr(1);
+
+  // status bytes ["host"]
+  const auto fields = util::split(line, ' ');
+  if (fields.size() < 2) return std::nullopt;
+  {
+    int status = 0;
+    const auto f = fields[0];
+    const auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), status);
+    if (ec != std::errc{} || p != f.data() + f.size()) return std::nullopt;
+    rec.status = status;
+  }
+  {
+    std::size_t bytes = 0;
+    const auto f = fields[1];
+    const auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), bytes);
+    if (ec != std::errc{} || p != f.data() + f.size()) return std::nullopt;
+    rec.bytes = bytes;
+  }
+  if (fields.size() >= 3 && fields[2].size() >= 2 && fields[2].front() == '"' &&
+      fields[2].back() == '"') {
+    rec.host = std::string(fields[2].substr(1, fields[2].size() - 2));
+  }
+  return rec;
+}
+
+void write_access_log(std::ostream& os, const std::vector<AccessLogRecord>& records) {
+  for (const auto& rec : records) os << format_clf(rec) << '\n';
+}
+
+std::vector<AccessLogRecord> read_access_log(std::istream& is, std::size_t* skipped) {
+  std::vector<AccessLogRecord> out;
+  if (skipped) *skipped = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (auto rec = parse_clf(line)) {
+      out.push_back(std::move(*rec));
+    } else if (skipped) {
+      ++*skipped;
+    }
+  }
+  return out;
+}
+
+std::vector<AccessLogRecord> to_records(const std::vector<Request>& requests,
+                                        const SiteModel& site) {
+  std::vector<AccessLogRecord> out;
+  out.reserve(requests.size());
+  for (const Request& req : requests) {
+    AccessLogRecord rec;
+    rec.time = req.time;
+    rec.user_id = req.user_id;
+    rec.host = site.config().host;
+    rec.target = req.url.request_target();
+    rec.status = 200;
+    rec.bytes = site.generate(req.doc, req.user_id, req.time).size();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace cbde::trace

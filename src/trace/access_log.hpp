@@ -1,0 +1,50 @@
+// Apache-style access-log records: the paper's experiments are driven by
+// web-site access logs ("the access-logs of web-sites represent HTTP
+// requests after any proxy-caches"). We read and write Common Log Format
+// with the user id encoded in the authuser field, so synthetic workloads
+// can round-trip through real log files (see examples/trace_replay).
+//
+// Line format (Common Log Format):
+//   remotehost ident authuser [date] "request-line" status bytes
+//   e.g. 10.0.3.7 - u42 [07/Jul/2026:12:00:01 +0000] "GET /laptops?id=100 HTTP/1.1" 200 31245
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "util/clock.hpp"
+
+namespace cbde::trace {
+
+struct AccessLogRecord {
+  util::SimTime time = 0;       ///< microseconds since trace start
+  std::uint64_t user_id = 0;
+  std::string host;             ///< server host
+  std::string target;           ///< origin-form request target
+  int status = 200;
+  std::size_t bytes = 0;        ///< response size
+};
+
+/// Format one record as a CLF line (no trailing newline).
+std::string format_clf(const AccessLogRecord& rec);
+
+/// Parse one CLF line; nullopt on malformed input.
+std::optional<AccessLogRecord> parse_clf(std::string_view line);
+
+/// Write records to a stream, one line each.
+void write_access_log(std::ostream& os, const std::vector<AccessLogRecord>& records);
+
+/// Read all parseable records from a stream; malformed lines are skipped and
+/// counted in `*skipped` if non-null.
+std::vector<AccessLogRecord> read_access_log(std::istream& is, std::size_t* skipped = nullptr);
+
+/// Convert workload requests into log records (status 200; bytes filled
+/// with the document size when `fill_bytes` provides one).
+std::vector<AccessLogRecord> to_records(const std::vector<Request>& requests,
+                                        const SiteModel& site);
+
+}  // namespace cbde::trace

@@ -1,0 +1,187 @@
+#include "trace/document.hpp"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace cbde::trace {
+namespace {
+
+constexpr std::array<std::string_view, 64> kWords = {
+    "the",     "of",       "and",      "product", "price",   "order",   "review",  "shipping",
+    "catalog", "model",    "series",   "display", "battery", "memory",  "storage", "design",
+    "quality", "service",  "account",  "detail",  "feature", "support", "system",  "update",
+    "version", "warranty", "customer", "rating",  "stock",   "offer",   "special", "discount",
+    "premium", "standard", "edition",  "limited", "popular", "newest",  "refurb",  "bundle",
+    "adapter", "wireless", "portable", "compact", "screen",  "keyboard","graphics","processor",
+    "network", "security", "software", "hardware","return",  "policy",  "payment", "invoice",
+    "billing", "contact",  "category", "compare", "wishlist","checkout","delivery","tracking"};
+
+/// Mix several ids into one seed.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                  std::uint64_t d = 0) {
+  std::uint64_t s = a;
+  util::splitmix64(s);
+  s ^= b + 0x9E3779B97F4A7C15ull;
+  util::splitmix64(s);
+  s ^= c + 0xC2B2AE3D27D4EB4Full;
+  util::splitmix64(s);
+  s ^= d + 0x165667B19E3779F9ull;
+  return util::splitmix64(s);
+}
+
+void append_prose(std::string& out, std::uint64_t seed, std::size_t nbytes) {
+  if (nbytes == 0) return;
+  util::Rng rng(seed);
+  const std::size_t end = out.size() + nbytes;
+  while (out.size() < end) {
+    out += "<p>";
+    const std::size_t words = 8 + rng.next_below(16);
+    for (std::size_t w = 0; w < words; ++w) {
+      // Mostly dictionary words with occasional ids/prices: compressible
+      // like real HTML, but diverse enough that unrelated documents do not
+      // accidentally share long byte runs.
+      const auto roll = rng.next_below(8);
+      if (roll == 0) {
+        out += "sku";
+        out += std::to_string(rng.next_below(1000000));
+      } else if (roll == 1) {
+        out += '$';
+        out += std::to_string(rng.next_below(10000));
+        out += '.';
+        out += std::to_string(10 + rng.next_below(90));
+      } else {
+        out += kWords[rng.next_below(kWords.size())];
+      }
+      out += (w + 1 == words) ? "." : " ";
+    }
+    out += "</p>\n";
+  }
+}
+
+}  // namespace
+
+std::string synth_prose(std::uint64_t seed, std::size_t nbytes) {
+  std::string out;
+  out.reserve(nbytes + 64);
+  append_prose(out, seed, nbytes);
+  return out;
+}
+
+DocumentTemplate::DocumentTemplate(std::uint64_t seed, TemplateConfig config)
+    : seed_(seed), config_(config) {
+  CBDE_EXPECT(config_.num_sections >= 1);
+  skeleton_ = synth_prose(mix(seed_, 0x5EE1), config_.skeleton_bytes);
+}
+
+std::string DocumentTemplate::private_payload(std::uint64_t user_id) const {
+  if (config_.private_bytes == 0) return {};
+  std::string out(kPrivateMarker);
+  // Credit-card-shaped digits plus a session token, both derived from the
+  // user id; unique per user with overwhelming probability.
+  util::Rng rng(mix(seed_, 0xB11D, user_id, 0xCAFE));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "4%03" PRIu64 "-%04" PRIu64 "-%04" PRIu64 "-%04" PRIu64 ";",
+                rng.next_below(1000), rng.next_below(10000), rng.next_below(10000),
+                rng.next_below(10000));
+  out += buf;
+  out += "TOKEN=";
+  while (out.size() < config_.private_bytes + kPrivateMarker.size()) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    out += kHex[rng.next_below(16)];
+  }
+  return out;
+}
+
+util::Bytes DocumentTemplate::generate(std::uint64_t doc_id, std::uint64_t user_id,
+                                       util::SimTime now) const {
+  return render(doc_id, user_id, now, /*include_skeleton=*/true);
+}
+
+util::Bytes DocumentTemplate::dynamic_payload(std::uint64_t doc_id, std::uint64_t user_id,
+                                              util::SimTime now) const {
+  return render(doc_id, user_id, now, /*include_skeleton=*/false);
+}
+
+util::Bytes DocumentTemplate::render(std::uint64_t doc_id, std::uint64_t user_id,
+                                     util::SimTime now, bool include_skeleton) const {
+  const auto sections = static_cast<std::size_t>(config_.num_sections);
+  const std::size_t doc_per_section = config_.doc_unique_bytes / sections;
+  const std::size_t volatile_per_section = config_.volatile_bytes / sections;
+  const std::size_t personal_per_section = config_.personal_bytes / sections;
+  const std::size_t cohort_per_section =
+      config_.num_cohorts > 0 ? config_.cohort_bytes / sections : 0;
+
+  std::string page;
+  page.reserve(approx_size() + 1024);
+  page += "<html><head><title>doc-";
+  page += std::to_string(doc_id);
+  page += "</title></head>\n<body>\n";
+
+  const std::size_t skel_per_section = skeleton_.size() / sections;
+  for (std::size_t s = 0; s < sections; ++s) {
+    // Shared skeleton slice (spatial correlation).
+    if (include_skeleton) {
+      const std::size_t off = s * skel_per_section;
+      const std::size_t len =
+          (s + 1 == sections) ? skeleton_.size() - off : skel_per_section;
+      page.append(skeleton_, off, len);
+    }
+
+    // Stable per-document content.
+    append_prose(page, mix(seed_, 0xD0C, doc_id, s), doc_per_section);
+
+    // Volatile slot: re-randomizes once per period, phase-staggered per slot
+    // so drift is gradual rather than synchronized (temporal correlation).
+    if (volatile_per_section > 0) {
+      const auto phase = static_cast<util::SimTime>(
+          mix(seed_, 0xFA5E, doc_id, s) % static_cast<std::uint64_t>(config_.volatile_period));
+      const auto epoch =
+          static_cast<std::uint64_t>((now + phase) / config_.volatile_period);
+      page += "<div class=live>";
+      append_prose(page, mix(seed_, 0x7E4, doc_id ^ (s << 20), epoch), volatile_per_section);
+      page += "</div>\n";
+    }
+
+    // Cohort content: shared by a subset of users, absent for others.
+    // Sections rotate through three cohort dimensions of different
+    // granularity (think region / plan tier / interest group), so base-file
+    // chunks end up with the full spectrum of commonality counts.
+    if (cohort_per_section > 0) {
+      const std::uint64_t dims[3] = {2, 3, config_.num_cohorts};
+      const std::uint64_t dim = s % 3;
+      const std::uint64_t group = user_id % dims[dim];
+      page += "<div class=region>";
+      append_prose(page, mix(seed_, 0xC0407 + dim, group, s), cohort_per_section);
+      page += "</div>\n";
+    }
+
+    // Personalization: per user, shared across the user's documents.
+    if (personal_per_section > 0) {
+      page += "<div class=me>";
+      append_prose(page, mix(seed_, 0x0E4, user_id, s), personal_per_section);
+      page += "</div>\n";
+    }
+
+    // Private payload lives in a single section mid-page.
+    if (s == sections / 2 && config_.private_bytes > 0) {
+      page += "<!-- ";
+      page += private_payload(user_id);
+      page += " -->\n";
+    }
+  }
+  page += "</body></html>\n";
+  return util::to_bytes(page);
+}
+
+std::size_t DocumentTemplate::approx_size() const {
+  return skeleton_.size() + config_.doc_unique_bytes + config_.volatile_bytes +
+         config_.personal_bytes + config_.cohort_bytes + config_.private_bytes +
+         static_cast<std::size_t>(config_.num_sections) * 60;
+}
+
+}  // namespace cbde::trace

@@ -1,0 +1,92 @@
+// Synthetic dynamic-document model.
+//
+// The paper's evaluation uses access logs of three commercial sites whose
+// documents exhibit two exploitable correlations:
+//   temporal — consecutive snapshots of one document differ in a small
+//              volatile fraction (timestamps, counters, rotating content);
+//   spatial  — documents of one category share a large common template
+//              (navigation, layout, boilerplate).
+// Plus per-user personalization, including *private* fields (the paper's §V
+// motivating case: credit card numbers embedded in pages).
+//
+// DocumentTemplate reproduces exactly this structure, deterministically:
+// generate(doc, user, now) is a pure function, so "the current snapshot of
+// the document" is well defined for origin server, delta-server and tests
+// alike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace cbde::trace {
+
+struct TemplateConfig {
+  // The defaults mirror the paper's observation that documents benefitting
+  // from delta-encoding average 30-50 KB with gzipped deltas of 1-3 KB: the
+  // dynamic fraction (per-document + volatile + personal content) is a
+  // small slice of a large shared template.
+  std::size_t skeleton_bytes = 36000;   ///< shared across the whole category
+  std::size_t doc_unique_bytes = 2400;  ///< per document, stable over time
+  std::size_t volatile_bytes = 1000;    ///< drifts over time
+  std::size_t personal_bytes = 400;     ///< per user (greeting, recommendations)
+  /// Content shared by a *cohort* of users (regional news, plan tier,
+  /// recommendation pools): common to some users but not all. This is what
+  /// gives base-file chunks intermediate commonality counts, so the M-of-N
+  /// anonymization threshold (§V) has a real trade-off to make.
+  std::size_t cohort_bytes = 600;
+  std::size_t num_cohorts = 8;
+  std::size_t private_bytes = 96;       ///< per user, sensitive (unique string)
+  /// Volatile content is split into slots; each slot re-randomizes once per
+  /// period (staggered phases), so longer gaps between requests mean larger
+  /// deltas — the temporal-correlation knob.
+  util::SimTime volatile_period = 60 * util::kSecond;
+  int num_sections = 32;  ///< interleaving granularity of the page
+};
+
+/// Marker embedded before every private payload so tests and the privacy
+/// bench can locate sensitive bytes exactly.
+inline constexpr std::string_view kPrivateMarker = "PRIV:";
+
+class DocumentTemplate {
+ public:
+  DocumentTemplate(std::uint64_t seed, TemplateConfig config);
+
+  /// Current snapshot of document `doc_id` as seen by `user_id` at `now`.
+  util::Bytes generate(std::uint64_t doc_id, std::uint64_t user_id, util::SimTime now) const;
+
+  /// The exact private string embedded for this user (marker included);
+  /// unique per (template, user). Empty if private_bytes == 0.
+  std::string private_payload(std::uint64_t user_id) const;
+
+  const TemplateConfig& config() const { return config_; }
+
+  /// Approximate size of a generated page in bytes.
+  std::size_t approx_size() const;
+
+  /// The page's dynamic payload only: everything except the shared skeleton
+  /// (per-document, volatile, cohort, personal and private content). This
+  /// is what an HPP-style scheme (Douglis et al., the paper's §I
+  /// comparison) transfers per access after the macro template is cached.
+  util::Bytes dynamic_payload(std::uint64_t doc_id, std::uint64_t user_id,
+                              util::SimTime now) const;
+
+  /// The static macro template an HPP client caches once.
+  std::string_view static_template() const { return skeleton_; }
+  std::size_t static_template_size() const { return skeleton_.size(); }
+
+ private:
+  util::Bytes render(std::uint64_t doc_id, std::uint64_t user_id, util::SimTime now,
+                     bool include_skeleton) const;
+
+  std::uint64_t seed_;
+  TemplateConfig config_;
+  std::string skeleton_;  // pre-rendered shared sections, '\0'-free
+};
+
+/// Deterministic pseudo-HTML prose of roughly `nbytes` bytes, seeded.
+std::string synth_prose(std::uint64_t seed, std::size_t nbytes);
+
+}  // namespace cbde::trace

@@ -1,0 +1,129 @@
+#include "trace/site.hpp"
+
+#include <charconv>
+
+#include "util/expect.hpp"
+#include "util/hash.hpp"
+
+namespace cbde::trace {
+namespace {
+
+std::optional<std::size_t> parse_index(std::string_view s) {
+  std::size_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+SiteModel::SiteModel(SiteConfig config) : config_(std::move(config)) {
+  CBDE_EXPECT(!config_.categories.empty());
+  CBDE_EXPECT(config_.docs_per_category >= 1);
+  templates_.reserve(config_.categories.size());
+  for (std::size_t c = 0; c < config_.categories.size(); ++c) {
+    templates_.emplace_back(util::fnv1a64(config_.categories[c], config_.seed),
+                            config_.doc_template);
+  }
+}
+
+http::Url SiteModel::url_for(DocRef doc) const {
+  CBDE_EXPECT(doc.category < config_.categories.size());
+  CBDE_EXPECT(doc.index < config_.docs_per_category);
+  const std::string& cat = config_.categories[doc.category];
+  const std::string id = std::to_string(doc.index);
+  http::Url url;
+  url.scheme = "http";
+  url.host = config_.host;
+  switch (config_.style) {
+    case UrlStyle::kPathSegment:
+      url.path = "/" + cat;
+      url.query = "id=" + id;
+      break;
+    case UrlStyle::kQueryParam:
+      url.path = "/";
+      url.query = "dept=" + cat + "&id=" + id;
+      break;
+    case UrlStyle::kPathOnly:
+      url.path = "/" + cat + "/" + id;
+      break;
+  }
+  return url;
+}
+
+std::optional<DocRef> SiteModel::resolve(const http::Url& url) const {
+  if (url.host != config_.host) return std::nullopt;
+
+  std::string_view cat;
+  std::string_view id;
+  const auto segments = http::path_segments(url.path);
+  const auto items = http::query_items(url.query);
+  switch (config_.style) {
+    case UrlStyle::kPathSegment: {
+      if (segments.size() != 1 || items.size() != 1 || !items[0].starts_with("id=")) {
+        return std::nullopt;
+      }
+      cat = segments[0];
+      id = items[0].substr(3);
+      break;
+    }
+    case UrlStyle::kQueryParam: {
+      if (!segments.empty() || items.size() != 2 || !items[0].starts_with("dept=") ||
+          !items[1].starts_with("id=")) {
+        return std::nullopt;
+      }
+      cat = items[0].substr(5);
+      id = items[1].substr(3);
+      break;
+    }
+    case UrlStyle::kPathOnly: {
+      if (segments.size() != 2) return std::nullopt;
+      cat = segments[0];
+      id = segments[1];
+      break;
+    }
+  }
+  for (std::size_t c = 0; c < config_.categories.size(); ++c) {
+    if (config_.categories[c] == cat) {
+      const auto index = parse_index(id);
+      if (!index || *index >= config_.docs_per_category) return std::nullopt;
+      return DocRef{c, *index};
+    }
+  }
+  return std::nullopt;
+}
+
+util::Bytes SiteModel::generate(DocRef doc, std::uint64_t user_id, util::SimTime now) const {
+  CBDE_EXPECT(doc.category < templates_.size());
+  const std::uint64_t doc_id =
+      doc.category * config_.docs_per_category + doc.index;
+  return templates_[doc.category].generate(doc_id, user_id, now);
+}
+
+util::Bytes SiteModel::dynamic_payload(DocRef doc, std::uint64_t user_id,
+                                       util::SimTime now) const {
+  CBDE_EXPECT(doc.category < templates_.size());
+  const std::uint64_t doc_id =
+      doc.category * config_.docs_per_category + doc.index;
+  return templates_[doc.category].dynamic_payload(doc_id, user_id, now);
+}
+
+const DocumentTemplate& SiteModel::template_for(std::size_t category) const {
+  CBDE_EXPECT(category < templates_.size());
+  return templates_[category];
+}
+
+http::PartitionRule SiteModel::partition_rule() const {
+  // Group 1 = hint (the category), group 2 = rest.
+  switch (config_.style) {
+    case UrlStyle::kPathSegment:
+      return http::PartitionRule(R"(^/([^/?]+)\?(.*)$)");
+    case UrlStyle::kQueryParam:
+      return http::PartitionRule(R"(^/\?(dept=[^&]+)&(.*)$)");
+    case UrlStyle::kPathOnly:
+      return http::PartitionRule(R"(^/([^/?]+)/(.*)$)");
+  }
+  CBDE_ASSERT(false);
+}
+
+}  // namespace cbde::trace

@@ -1,0 +1,76 @@
+// A synthetic web-site: categories of similar documents, each backed by a
+// DocumentTemplate, addressable through URLs in one of the three styles of
+// the paper's Table I.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/partition.hpp"
+#include "http/url.hpp"
+#include "trace/document.hpp"
+
+namespace cbde::trace {
+
+/// The three site-organization styles of Table I.
+enum class UrlStyle {
+  kPathSegment,  ///< www.foo.com/laptops?id=100
+  kQueryParam,   ///< www.foo.com/?dept=laptops&id=100
+  kPathOnly,     ///< www.foo.com/laptops/100
+};
+
+struct SiteConfig {
+  std::string host = "www.example.com";
+  UrlStyle style = UrlStyle::kPathSegment;
+  std::vector<std::string> categories = {"laptops", "desktops"};
+  std::size_t docs_per_category = 100;
+  TemplateConfig doc_template;
+  std::uint64_t seed = 1;
+};
+
+/// Reference to a document within a site.
+struct DocRef {
+  std::size_t category = 0;
+  std::size_t index = 0;  ///< within the category
+
+  bool operator==(const DocRef&) const = default;
+};
+
+class SiteModel {
+ public:
+  explicit SiteModel(SiteConfig config);
+
+  const SiteConfig& config() const { return config_; }
+  std::size_t num_categories() const { return config_.categories.size(); }
+  std::size_t num_documents() const {
+    return config_.categories.size() * config_.docs_per_category;
+  }
+
+  /// URL addressing this document, in the site's style.
+  http::Url url_for(DocRef doc) const;
+
+  /// Inverse of url_for; nullopt for foreign or malformed URLs.
+  std::optional<DocRef> resolve(const http::Url& url) const;
+
+  /// Current snapshot of the document for this user at simulated time `now`.
+  util::Bytes generate(DocRef doc, std::uint64_t user_id, util::SimTime now) const;
+
+  /// Dynamic payload only (no shared skeleton) — what an HPP-style scheme
+  /// ships per access once the macro template is cached client-side.
+  util::Bytes dynamic_payload(DocRef doc, std::uint64_t user_id, util::SimTime now) const;
+
+  const DocumentTemplate& template_for(std::size_t category) const;
+
+  /// Partition rule tailored to this site's URL style, suitable for
+  /// registering with a RuleBook (the "administrator describes ... using
+  /// regular expressions" step of §III).
+  http::PartitionRule partition_rule() const;
+
+ private:
+  SiteConfig config_;
+  std::vector<DocumentTemplate> templates_;  // one per category
+};
+
+}  // namespace cbde::trace

@@ -1,0 +1,44 @@
+#include "trace/workload.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbde::trace {
+
+WorkloadGenerator::WorkloadGenerator(const SiteModel& site, WorkloadConfig config)
+    : site_(site), config_(config) {
+  CBDE_EXPECT(config_.num_users >= 1);
+  CBDE_EXPECT(config_.revisit_prob >= 0.0 && config_.revisit_prob <= 1.0);
+}
+
+std::vector<Request> WorkloadGenerator::generate() {
+  util::Rng rng(config_.seed);
+  const util::ZipfSampler zipf(site_.num_documents(), config_.zipf_alpha);
+  std::vector<std::vector<std::size_t>> history(config_.num_users);
+
+  std::vector<Request> out;
+  out.reserve(config_.num_requests);
+  util::SimTime now = 0;
+  for (std::size_t i = 0; i < config_.num_requests; ++i) {
+    now += static_cast<util::SimTime>(rng.exponential(config_.mean_interarrival_us));
+    const auto user = rng.next_below(config_.num_users);
+    auto& hist = history[user];
+
+    std::size_t flat;
+    if (!hist.empty() && rng.bernoulli(config_.revisit_prob)) {
+      flat = hist[rng.next_below(hist.size())];
+    } else {
+      flat = zipf.sample(rng);
+      if (hist.size() >= config_.user_history && !hist.empty()) {
+        hist.erase(hist.begin());
+      }
+      if (config_.user_history > 0) hist.push_back(flat);
+    }
+
+    const DocRef doc{flat / site_.config().docs_per_category,
+                     flat % site_.config().docs_per_category};
+    out.push_back(Request{now, user, doc, site_.url_for(doc)});
+  }
+  return out;
+}
+
+}  // namespace cbde::trace

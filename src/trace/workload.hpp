@@ -1,0 +1,48 @@
+// Request-stream generation over a SiteModel: Zipf document popularity,
+// Poisson arrivals, and a user population with per-user document affinity
+// (a user revisits their own working set, which is what makes personalized
+// delta-encoding worthwhile).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/site.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cbde::trace {
+
+struct WorkloadConfig {
+  std::size_t num_requests = 10000;
+  std::size_t num_users = 200;
+  double zipf_alpha = 0.9;              ///< document popularity skew
+  double mean_interarrival_us = 50000;  ///< Poisson arrivals (50 ms default)
+  /// With this probability a user re-requests a document from their recent
+  /// history instead of sampling the global popularity distribution.
+  double revisit_prob = 0.5;
+  std::size_t user_history = 4;  ///< per-user working-set size
+  std::uint64_t seed = 42;
+};
+
+struct Request {
+  util::SimTime time = 0;
+  std::uint64_t user_id = 0;
+  DocRef doc;
+  http::Url url;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const SiteModel& site, WorkloadConfig config);
+
+  /// Generate the full request stream (sorted by time).
+  std::vector<Request> generate();
+
+ private:
+  const SiteModel& site_;
+  WorkloadConfig config_;
+};
+
+}  // namespace cbde::trace

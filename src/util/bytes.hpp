@@ -1,0 +1,43 @@
+// Byte-buffer aliases and conversions used across the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbde::util {
+
+/// Owning byte buffer. Documents, deltas and compressed blobs are all Bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline std::string_view as_string_view(BytesView b) {
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline BytesView as_view(const Bytes& b) {
+  return BytesView(b.data(), b.size());
+}
+
+/// Append a view to an owning buffer.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace cbde::util

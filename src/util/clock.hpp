@@ -1,0 +1,37 @@
+// Simulated time. The pipeline, rebase timeouts and the capacity harness all
+// run on virtual time so experiments are deterministic and fast.
+#pragma once
+
+#include <cstdint>
+
+#include "util/expect.hpp"
+
+namespace cbde::util {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+/// Monotonic simulated clock, advanced explicitly by the driver.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void advance(SimTime delta) {
+    CBDE_EXPECT(delta >= 0);
+    now_ += delta;
+  }
+
+  void advance_to(SimTime t) {
+    CBDE_EXPECT(t >= now_);
+    now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace cbde::util

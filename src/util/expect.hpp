@@ -1,0 +1,34 @@
+// Precondition / invariant checking helpers.
+//
+// CBDE_EXPECT is used for caller-facing preconditions (throws
+// std::invalid_argument); CBDE_ASSERT for internal invariants (throws
+// std::logic_error). Both stay enabled in release builds: this library is a
+// research artifact and silent corruption is worse than a few branches.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbde::util {
+
+[[noreturn]] inline void fail_expect(const char* cond, const char* file, int line) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                              std::to_string(line));
+}
+
+[[noreturn]] inline void fail_assert(const char* cond, const char* file, int line) {
+  throw std::logic_error(std::string("invariant violated: ") + cond + " at " + file + ":" +
+                         std::to_string(line));
+}
+
+}  // namespace cbde::util
+
+#define CBDE_EXPECT(cond) \
+  do {                    \
+    if (!(cond)) ::cbde::util::fail_expect(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define CBDE_ASSERT(cond) \
+  do {                    \
+    if (!(cond)) ::cbde::util::fail_assert(#cond, __FILE__, __LINE__); \
+  } while (false)

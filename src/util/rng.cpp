@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cbde::util {
+
+double Rng::exponential(double mean) {
+  CBDE_EXPECT(mean > 0);
+  // Inversion; 1 - U avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+}  // namespace cbde::util

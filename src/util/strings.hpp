@@ -1,0 +1,25 @@
+// Small string helpers shared by the HTTP and trace modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbde::util {
+
+/// Split on a single-character separator; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Human-friendly byte count, e.g. "1.4 MB".
+std::string format_bytes(double bytes);
+
+}  // namespace cbde::util

@@ -1,0 +1,36 @@
+// Zipf-distributed sampling for request popularity.
+//
+// Web request streams are famously Zipf-like (Breslau et al., INFOCOM '99 —
+// cited by the paper); the workload generator uses this to pick which
+// document each synthetic request targets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cbde::util {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^alpha.
+/// Uses a precomputed CDF with binary search: O(n) setup, O(log n) sample.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `alpha` >= 0 (0 = uniform, ~0.8-1.0 typical for web).
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draw a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace cbde::util

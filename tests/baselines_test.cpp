@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "trace/workload.hpp"
+
+namespace cbde::core {
+namespace {
+
+struct BaselineRig {
+  trace::SiteModel site;
+  server::OriginServer origin;
+  std::vector<trace::Request> requests;
+
+  static trace::SiteConfig site_config() {
+    trace::SiteConfig config;
+    config.docs_per_category = 12;
+    return config;
+  }
+
+  BaselineRig() : site(site_config()) {
+    origin.add_site(site);
+    trace::WorkloadConfig wconfig;
+    wconfig.num_requests = 300;
+    wconfig.num_users = 20;
+    requests = trace::WorkloadGenerator(site, wconfig).generate();
+  }
+
+  void run(TrafficBaseline& baseline) {
+    for (const auto& req : requests) baseline.process(req.user_id, req.url, req.time);
+  }
+};
+
+TEST(Baselines, FullTransferSendsEverything) {
+  BaselineRig rig;
+  FullTransferBaseline baseline(rig.origin);
+  rig.run(baseline);
+  EXPECT_EQ(baseline.counters().requests, 300u);
+  EXPECT_EQ(baseline.counters().wire_bytes, baseline.counters().direct_bytes);
+  EXPECT_DOUBLE_EQ(baseline.counters().savings(), 0.0);
+}
+
+TEST(Baselines, GzipOnlySavesRoughlyTwoToFourX) {
+  BaselineRig rig;
+  GzipOnlyBaseline baseline(rig.origin);
+  rig.run(baseline);
+  const double factor = baseline.counters().reduction_factor();
+  EXPECT_GT(factor, 1.8);
+  EXPECT_LT(factor, 6.0);
+}
+
+TEST(Baselines, HppBeatsGzipButTrailsDelta) {
+  BaselineRig rig;
+  GzipOnlyBaseline gzip_only(rig.origin);
+  HppBaseline hpp(rig.origin);
+  ClasslessDeltaBaseline classless(rig.origin);
+  rig.run(gzip_only);
+  rig.run(hpp);
+  rig.run(classless);
+  EXPECT_GT(hpp.counters().reduction_factor(), gzip_only.counters().reduction_factor());
+  EXPECT_GT(classless.counters().reduction_factor(),
+            hpp.counters().reduction_factor() * 0.9);
+}
+
+TEST(Baselines, HppTemplateShippedOncePerUserCategory) {
+  BaselineRig rig;
+  HppBaseline hpp(rig.origin);
+  const auto url = rig.site.url_for(trace::DocRef{0, 0});
+  hpp.process(7, url, 0);
+  const auto first = hpp.counters().wire_bytes;
+  hpp.process(7, url, util::kSecond);
+  const auto second = hpp.counters().wire_bytes - first;
+  // Second access: no template transfer, only the dynamic payload.
+  EXPECT_LT(second, first / 2);
+}
+
+TEST(Baselines, ClasslessStorageGrowsPerUserUrl) {
+  BaselineRig rig;
+  ClasslessDeltaBaseline baseline(rig.origin);
+  const auto url0 = rig.site.url_for(trace::DocRef{0, 0});
+  const auto url1 = rig.site.url_for(trace::DocRef{0, 1});
+  baseline.process(1, url0, 0);
+  baseline.process(1, url1, 0);
+  baseline.process(2, url0, 0);
+  EXPECT_EQ(baseline.bases_stored(), 3u);
+  baseline.process(1, url0, util::kSecond);  // repeat: replaces, not grows
+  EXPECT_EQ(baseline.bases_stored(), 3u);
+  EXPECT_GT(baseline.storage_bytes(), 0u);
+}
+
+TEST(Baselines, UnknownUrlsIgnored) {
+  BaselineRig rig;
+  FullTransferBaseline baseline(rig.origin);
+  baseline.process(1, http::parse_url("www.unknown.example/x"), 0);
+  EXPECT_EQ(baseline.counters().requests, 0u);
+}
+
+}  // namespace
+}  // namespace cbde::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_loader.hpp"
+
+namespace cbde::core {
+namespace {
+
+LoadedConfig parse(const std::string& text) {
+  std::istringstream in(text);
+  return load_config(in);
+}
+
+TEST(ConfigLoader, ExampleConfigParses) {
+  const auto config = parse(example_config());
+  EXPECT_TRUE(config.server.anonymize);
+  EXPECT_TRUE(config.server.compress_deltas);
+  EXPECT_DOUBLE_EQ(config.server.selector.sample_prob, 0.2);
+  EXPECT_EQ(config.server.selector.max_samples, 8u);
+  EXPECT_EQ(config.server.grouping.max_tries, 8u);
+  EXPECT_DOUBLE_EQ(config.server.grouping.popular_fraction, 0.5);
+  EXPECT_EQ(config.server.rebase_timeout, 120 * util::kSecond);
+  EXPECT_EQ(config.server.anonymizer.min_common, 2u);
+  EXPECT_EQ(config.server.anonymizer.required_docs, 5u);
+  EXPECT_FALSE(config.disk_store.has_value());
+  EXPECT_TRUE(config.rules.has_rule("www.foo.com"));
+  ASSERT_EQ(config.manual_classes.size(), 1u);
+  EXPECT_EQ(config.manual_classes[0].first, "www.adhoc.example");
+  EXPECT_EQ(config.manual_classes[0].second, "specials");
+}
+
+TEST(ConfigLoader, CommentsAndBlankLinesIgnored) {
+  const auto config = parse(
+      "# leading comment\n"
+      "\n"
+      "[delta-server]\n"
+      "   # indented comment\n"
+      "max-tries = 3\n");
+  EXPECT_EQ(config.server.grouping.max_tries, 3u);
+}
+
+TEST(ConfigLoader, DiskStoreParsed) {
+  const auto config = parse("[delta-server]\nbase-store = disk:/tmp/cbde-bases\n");
+  ASSERT_TRUE(config.disk_store.has_value());
+  EXPECT_EQ(config.disk_store->string(), "/tmp/cbde-bases");
+}
+
+TEST(ConfigLoader, PartitionRuleActuallyWorks) {
+  const auto config = parse(
+      "[site www.shop.example]\n"
+      "partition = ^/x/([a-z]+)/(.*)$\n");
+  const auto parts = config.rules.partition(http::parse_url("www.shop.example/x/tv/7"));
+  EXPECT_EQ(parts.hint_part, "tv");
+  EXPECT_EQ(parts.rest, "7");
+}
+
+TEST(ConfigLoader, UnknownKeysRejectedWithLineNumber) {
+  try {
+    parse("[delta-server]\nmax-tires = 8\n");  // typo
+    FAIL() << "typo accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("max-tires"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, MalformedInputsRejected) {
+  EXPECT_THROW(parse("max-tries = 8\n"), ConfigError);               // key before section
+  EXPECT_THROW(parse("[delta-server\n"), ConfigError);               // unterminated
+  EXPECT_THROW(parse("[mystery]\n"), ConfigError);                   // unknown section
+  EXPECT_THROW(parse("[site ]\n"), ConfigError);                     // empty host
+  EXPECT_THROW(parse("[delta-server]\nmax-tries 8\n"), ConfigError); // no '='
+  EXPECT_THROW(parse("[delta-server]\nmax-tries = eight\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\nanonymize = maybe\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\nsample-prob = 0.2x\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\nbase-store = ftp:/x\n"), ConfigError);
+  EXPECT_THROW(parse("[site www.x.com]\npartition = ([unclosed\n"), ConfigError);
+}
+
+TEST(ConfigLoader, CrossFieldValidation) {
+  EXPECT_THROW(parse("[delta-server]\nanonymizer-m = 9\nanonymizer-n = 4\n"),
+               ConfigError);
+}
+
+TEST(ConfigLoader, LoadedConfigDrivesARealServer) {
+  auto config = parse(
+      "[delta-server]\n"
+      "anonymize = false\n"
+      "max-tries = 4\n"
+      "[site www.example.com]\n"
+      "partition = ^/([^/?]+)\\?(.*)$\n");
+  DeltaServer server(config.server, std::move(config.rules), config.make_store());
+  // Serve two similar documents; the second should come back as a delta.
+  const auto url1 = http::parse_url("www.example.com/laptops?id=1");
+  const auto url2 = http::parse_url("www.example.com/laptops?id=2");
+  const auto doc1 = util::to_bytes(std::string(20000, 'd') + "one");
+  const auto doc2 = util::to_bytes(std::string(20000, 'd') + "two");
+  server.serve(1, url1, util::as_view(doc1), 0);
+  const auto resp = server.serve(2, url2, util::as_view(doc2), util::kSecond);
+  EXPECT_EQ(resp.mode, ServedResponse::Mode::kDelta);
+}
+
+TEST(ConfigLoader, MissingFileRejected) {
+  EXPECT_THROW(load_config_file("/nonexistent/cbde.conf"), ConfigError);
+}
+
+}  // namespace
+}  // namespace cbde::core

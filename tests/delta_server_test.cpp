@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "core/delta_server.hpp"
+#include "trace/site.hpp"
+
+namespace cbde::core {
+namespace {
+
+using util::Bytes;
+using util::as_view;
+
+struct Rig {
+  trace::SiteModel site;
+  DeltaServer server;
+
+  static trace::SiteConfig site_config() {
+    trace::SiteConfig config;
+    config.docs_per_category = 10;
+    return config;
+  }
+
+  static http::RuleBook rules(const trace::SiteModel& site) {
+    http::RuleBook book;
+    book.add_rule(site.config().host, site.partition_rule());
+    return book;
+  }
+
+  explicit Rig(DeltaServerConfig config = fast_config())
+      : site(site_config()), server(config, rules(site)) {}
+
+  static DeltaServerConfig fast_config() {
+    DeltaServerConfig config;
+    config.anonymizer.required_docs = 3;
+    config.anonymizer.min_common = 1;
+    config.selector.sample_prob = 0.3;
+    return config;
+  }
+
+  ServedResponse request(std::uint64_t user, std::size_t cat, std::size_t doc,
+                         util::SimTime now) {
+    const trace::DocRef ref{cat, doc};
+    const auto url = site.url_for(ref);
+    const Bytes body = site.generate(ref, user, now);
+    return server.serve(user, url, as_view(body), now);
+  }
+};
+
+TEST(DeltaServer, FirstRequestIsDirectAndCreatesClass) {
+  Rig rig;
+  const auto resp = rig.request(1, 0, 0, 0);
+  EXPECT_EQ(resp.mode, ServedResponse::Mode::kDirect);
+  EXPECT_TRUE(resp.class_created);
+  EXPECT_EQ(resp.wire_body.size(), resp.doc_size);
+  EXPECT_EQ(rig.server.num_classes(), 1u);
+  // Anonymization has not completed: nothing published yet.
+  EXPECT_FALSE(rig.server.published_base(resp.class_id).has_value());
+}
+
+TEST(DeltaServer, PublishesAfterAnonymizationAndServesDeltas) {
+  Rig rig;
+  util::SimTime now = 0;
+  // First request creates the class; 3 more distinct users complete the
+  // anonymization (N=3, owner excluded).
+  rig.request(1, 0, 0, now);
+  for (std::uint64_t user = 2; user <= 4; ++user) {
+    now += util::kSecond;
+    rig.request(user, 0, user % 10, now);
+  }
+  now += util::kSecond;
+  const auto resp = rig.request(9, 0, 5, now);
+  EXPECT_EQ(resp.mode, ServedResponse::Mode::kDelta);
+  EXPECT_TRUE(resp.base_needed);  // user 9 has no base yet
+  EXPECT_GT(resp.base_size, 0u);
+  EXPECT_GT(resp.base_version, 0u);
+  EXPECT_LT(resp.wire_body.size(), resp.doc_size / 3);
+  EXPECT_TRUE(resp.wire_compressed);
+
+  // Same user again: base already held, only the delta travels.
+  now += util::kSecond;
+  const auto again = rig.request(9, 0, 5, now);
+  EXPECT_EQ(again.mode, ServedResponse::Mode::kDelta);
+  EXPECT_FALSE(again.base_needed);
+}
+
+TEST(DeltaServer, DeltaAppliesToPublishedBase) {
+  Rig rig;
+  util::SimTime now = 0;
+  rig.request(1, 0, 0, now);
+  for (std::uint64_t user = 2; user <= 4; ++user) {
+    rig.request(user, 0, 1, now += util::kSecond);
+  }
+  const trace::DocRef ref{0, 7};
+  const auto url = rig.site.url_for(ref);
+  const Bytes doc = rig.site.generate(ref, 42, now += util::kSecond);
+  const auto resp = rig.server.serve(42, url, as_view(doc), now);
+  ASSERT_EQ(resp.mode, ServedResponse::Mode::kDelta);
+  const auto published = rig.server.published_base(resp.class_id);
+  ASSERT_TRUE(published.has_value());
+  EXPECT_EQ(published->version, resp.base_version);
+  const Bytes raw = compress::decompress(as_view(resp.wire_body));
+  EXPECT_EQ(delta::apply(published->bytes, as_view(raw)), doc);
+}
+
+TEST(DeltaServer, PublishedBaseContainsNoPrivateData) {
+  Rig rig;
+  util::SimTime now = 0;
+  rig.request(1, 0, 0, now);
+  for (std::uint64_t user = 2; user <= 4; ++user) {
+    rig.request(user, 0, 0, now += util::kSecond);
+  }
+  const auto resp = rig.request(5, 0, 0, now += util::kSecond);
+  const auto published = rig.server.published_base(resp.class_id);
+  ASSERT_TRUE(published.has_value());
+  const std::string text = util::to_string(published->bytes);
+  // The owner's private payload must have been scrubbed.
+  const std::string secret = rig.site.template_for(0).private_payload(1);
+  EXPECT_EQ(text.find(secret), std::string::npos);
+  EXPECT_EQ(text.find(std::string(trace::kPrivateMarker)), std::string::npos);
+}
+
+TEST(DeltaServer, WithoutAnonymizationPublishesImmediately) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  Rig rig(config);
+  const auto first = rig.request(1, 0, 0, 0);
+  EXPECT_EQ(first.mode, ServedResponse::Mode::kDirect);
+  const auto second = rig.request(2, 0, 1, util::kSecond);
+  EXPECT_EQ(second.mode, ServedResponse::Mode::kDelta);
+}
+
+TEST(DeltaServer, UncompressedDeltasWhenDisabled) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.compress_deltas = false;
+  Rig rig(config);
+  rig.request(1, 0, 0, 0);
+  const auto resp = rig.request(2, 0, 1, util::kSecond);
+  ASSERT_EQ(resp.mode, ServedResponse::Mode::kDelta);
+  EXPECT_FALSE(resp.wire_compressed);
+  EXPECT_EQ(resp.wire_body.size(), resp.delta_size);
+}
+
+TEST(DeltaServer, MetricsAccumulateConsistently) {
+  Rig rig;
+  util::SimTime now = 0;
+  for (std::uint64_t user = 1; user <= 10; ++user) {
+    rig.request(user, 0, user % 10, now += util::kSecond);
+  }
+  const auto& m = rig.server.metrics();
+  EXPECT_EQ(m.requests, 10u);
+  EXPECT_EQ(m.direct_responses + m.delta_responses, 10u);
+  EXPECT_GT(m.direct_bytes, 0u);
+  EXPECT_LE(m.wire_bytes, m.direct_bytes);
+  EXPECT_GT(m.savings(), 0.0);
+  EXPECT_GT(m.cpu_us_total, 0.0);
+}
+
+TEST(DeltaServer, BasicRebaseAfterConsecutiveLargeDeltas) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.basic_rebase_after = 2;
+  config.basic_rebase_ratio = 0.5;
+  config.grouping.match_threshold = 100.0;  // force everything into one class
+  Rig rig(config);
+  // Seed the class with a laptops doc.
+  rig.request(1, 0, 0, 0);
+  // Feed desktops docs (different template => large deltas vs the base).
+  bool saw_rebase = false;
+  for (std::uint64_t d = 0; d < 4; ++d) {
+    const auto resp = rig.request(2, 1, d, (d + 1) * util::kSecond);
+    saw_rebase |= resp.basic_rebase;
+  }
+  EXPECT_TRUE(saw_rebase);
+  EXPECT_GT(rig.server.metrics().basic_rebases, 0u);
+}
+
+TEST(DeltaServer, GroupRebaseRespectsTimeout) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.selector.sample_prob = 1.0;
+  config.rebase_timeout = 1000 * util::kSecond;
+  Rig rig(config);
+  util::SimTime now = 0;
+  std::uint64_t rebases_early = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto resp = rig.request(i + 1, 0, i % 10, now += util::kSecond);
+    rebases_early += resp.group_rebase;
+  }
+  EXPECT_EQ(rebases_early, 0u);  // timeout far away
+
+  // Jump past the timeout; a rebase becomes possible.
+  now += 2000 * util::kSecond;
+  std::uint64_t rebases_late = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto resp = rig.request(i + 1, 0, i % 10, now += util::kSecond);
+    rebases_late += resp.group_rebase;
+  }
+  EXPECT_GT(rig.server.metrics().group_rebases + rig.server.metrics().basic_rebases, 0u);
+}
+
+TEST(DeltaServer, ClientMustRefetchBaseAfterRebase) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.selector.sample_prob = 1.0;
+  config.rebase_timeout = 0;  // rebase whenever a better candidate exists
+  Rig rig(config);
+  util::SimTime now = 0;
+  rig.request(7, 0, 0, now);
+  std::uint64_t base_fetches = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto resp = rig.request(7, 0, static_cast<std::size_t>(i) % 10,
+                                  now += util::kSecond);
+    if (resp.mode == ServedResponse::Mode::kDelta) base_fetches += resp.base_needed;
+  }
+  // At least the first fetch; more if any rebase bumped the version.
+  EXPECT_GE(base_fetches, 1u);
+}
+
+TEST(DeltaServer, PublishedHistoryServesRecentVersionsOnly) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.rebase_timeout = 0;
+  config.selector.sample_prob = 1.0;
+  config.published_history = 2;
+  Rig rig(config);
+  util::SimTime now = 0;
+  // Drive rebases by cycling documents.
+  std::uint32_t max_version = 0;
+  ClassId cls = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto resp = rig.request(1 + static_cast<std::uint64_t>(i) % 4, 0,
+                                  static_cast<std::size_t>(i) % 10, now += util::kSecond);
+    if (resp.base_version > 0) {
+      max_version = std::max(max_version, resp.base_version);
+      cls = resp.class_id;
+    }
+  }
+  ASSERT_GT(max_version, 2u);  // rebases happened
+  // Current and previous versions are retained; ancient ones are gone.
+  EXPECT_TRUE(rig.server.fetch_base(cls, max_version).has_value());
+  EXPECT_TRUE(rig.server.fetch_base(cls, max_version - 1).has_value());
+  EXPECT_FALSE(rig.server.fetch_base(cls, 1).has_value());
+  EXPECT_FALSE(rig.server.fetch_base(cls, max_version + 5).has_value());
+  EXPECT_FALSE(rig.server.fetch_base(9999, 1).has_value());
+}
+
+TEST(DeltaServer, StorageStaysFarBelowClasslessStorage) {
+  // The paper's scalability argument: one base per class vs one per
+  // (user, document).
+  Rig rig;
+  util::SimTime now = 0;
+  for (std::uint64_t user = 1; user <= 20; ++user) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      rig.request(user, d % 2, d, now += util::kSecond);
+    }
+  }
+  EXPECT_LT(rig.server.storage_bytes() * 3, rig.server.classless_storage_bytes());
+}
+
+TEST(DeltaServer, FallsBackToDirectWhenDeltaUseless) {
+  auto config = Rig::fast_config();
+  config.anonymize = false;
+  config.grouping.match_threshold = 100.0;  // everything lands in class 1
+  config.basic_rebase_after = 1000;         // keep the stale base
+  Rig rig(config);
+  rig.request(1, 0, 0, 0);
+  // Random bytes: the delta against an HTML base is bigger than the doc.
+  util::Rng rng(5);
+  Bytes noise(20000);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto url = rig.site.url_for(trace::DocRef{0, 9});
+  const auto resp = rig.server.serve(2, url, as_view(noise), util::kSecond);
+  EXPECT_EQ(resp.mode, ServedResponse::Mode::kDirect);
+  EXPECT_EQ(resp.wire_body, noise);
+}
+
+}  // namespace
+}  // namespace cbde::core

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "delta/delta.hpp"
+#include "trace/document.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/varint.hpp"
+
+namespace cbde::delta {
+namespace {
+
+using util::Bytes;
+using util::as_view;
+using util::to_bytes;
+
+Bytes random_bytes(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Delta, IdenticalFilesGiveTinyDelta) {
+  const Bytes doc = to_bytes(std::string(20000, 'q') + "tail content here");
+  const auto result = encode(as_view(doc), as_view(doc));
+  EXPECT_EQ(apply(as_view(doc), as_view(result.delta)), doc);
+  EXPECT_LT(result.delta.size(), 64u);  // header + one COPY
+  EXPECT_EQ(result.add_bytes, 0u);
+  EXPECT_EQ(result.copy_bytes, doc.size());
+}
+
+TEST(Delta, EmptyTargetAndEmptyBase) {
+  const Bytes base = to_bytes("some base content");
+  const auto r1 = encode(as_view(base), {});
+  EXPECT_TRUE(apply(as_view(base), as_view(r1.delta)).empty());
+
+  const Bytes target = to_bytes("fresh content with no base");
+  const auto r2 = encode({}, as_view(target));
+  EXPECT_EQ(apply({}, as_view(r2.delta)), target);
+  EXPECT_EQ(r2.copy_bytes, 0u);  // nothing to copy from
+}
+
+TEST(Delta, SmallEditProducesSmallDelta) {
+  std::string s(40000, ' ');
+  util::Rng rng(1);
+  for (auto& c : s) c = static_cast<char>('a' + rng.next_below(26));
+  Bytes base = to_bytes(s);
+  Bytes target = base;
+  // Edit 3 disjoint spots.
+  for (std::size_t pos : {100u, 20000u, 39000u}) {
+    for (std::size_t i = 0; i < 20; ++i) target[pos + i] = 'Z';
+  }
+  const auto result = encode(as_view(base), as_view(target));
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+  EXPECT_LT(result.delta.size(), 300u);
+}
+
+class DeltaParamsRoundTrip : public ::testing::TestWithParam<DeltaParams> {};
+
+TEST_P(DeltaParamsRoundTrip, AdversarialCorpora) {
+  const DeltaParams params = GetParam();
+  const std::vector<std::pair<Bytes, Bytes>> cases = {
+      {to_bytes("abcdefgh"), to_bytes("abcdefgh")},
+      {to_bytes("aaaaaaaaaaaaaaaa"), to_bytes("aaaabaaaabaaaab")},
+      {random_bytes(1, 5000), random_bytes(2, 5000)},            // unrelated
+      {random_bytes(3, 5000), random_bytes(3, 5000)},            // identical random
+      {to_bytes(""), random_bytes(4, 100)},                      // empty base
+      {random_bytes(5, 100), to_bytes("")},                      // empty target
+      {to_bytes("short"), random_bytes(6, 50000)},               // tiny base
+      {random_bytes(7, 50000), to_bytes("short")},               // tiny target
+      {to_bytes(std::string(1000, 'x')), to_bytes(std::string(3000, 'x'))},
+  };
+  for (const auto& [base, target] : cases) {
+    const auto result = encode(as_view(base), as_view(target), params);
+    EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+    EXPECT_EQ(result.copy_bytes + result.add_bytes, target.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DeltaParamsRoundTrip,
+                         ::testing::Values(DeltaParams::full(), DeltaParams::light(),
+                                           DeltaParams{2, 1, 64, true},
+                                           DeltaParams{16, 16, 2, false},
+                                           DeltaParams{4, 1, 1, false}));
+
+TEST(Delta, RandomizedRoundTripSweep) {
+  util::Rng rng(12345);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Base and target share structure: common prefix pool mutated randomly.
+    const std::size_t n = 200 + rng.next_below(8000);
+    Bytes base = random_bytes(rng.next_u64(), n);
+    Bytes target = base;
+    const std::size_t edits = rng.next_below(20);
+    for (std::size_t e = 0; e < edits && !target.empty(); ++e) {
+      const std::size_t pos = rng.next_below(target.size());
+      switch (rng.next_below(3)) {
+        case 0: target[pos] ^= 0xFF; break;
+        case 1:
+          target.insert(target.begin() + static_cast<std::ptrdiff_t>(pos),
+                        static_cast<std::uint8_t>(rng.next_below(256)));
+          break;
+        default: target.erase(target.begin() + static_cast<std::ptrdiff_t>(pos)); break;
+      }
+    }
+    const auto result = encode(as_view(base), as_view(target));
+    ASSERT_EQ(apply(as_view(base), as_view(result.delta)), target) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------ variants
+
+TEST(Delta, BackwardExtensionImprovesDelta) {
+  // A long match whose hash-indexed start sits after a modified byte:
+  // backward extension converts the literal run before the match into COPY.
+  util::Rng rng(9);
+  Bytes base(30000);
+  for (auto& b : base) b = static_cast<std::uint8_t>('a' + rng.next_below(26));
+  Bytes target = base;
+  target[0] ^= 0x01;  // only byte 0 differs
+  DeltaParams fwd = DeltaParams::full();
+  fwd.backward_extend = false;
+  const auto with = encode(as_view(base), as_view(target));
+  const auto without = encode(as_view(base), as_view(target), fwd);
+  EXPECT_LE(with.delta.size(), without.delta.size());
+  EXPECT_EQ(apply(as_view(base), as_view(with.delta)), target);
+  EXPECT_EQ(apply(as_view(base), as_view(without.delta)), target);
+}
+
+TEST(Delta, LightVariantIsCoarserButOrdersSimilarity) {
+  // Light deltas may be larger, but they must still rank a near document
+  // below a far one — that is all grouping needs.
+  const trace::DocumentTemplate tmpl(42, trace::TemplateConfig{});
+  const Bytes doc_a = tmpl.generate(1, 100, 0);
+  const Bytes doc_b = tmpl.generate(1, 100, 1 * util::kSecond);  // near: same doc
+  const trace::DocumentTemplate other(43, trace::TemplateConfig{});
+  const Bytes doc_c = other.generate(99, 200, 0);  // far: different template
+
+  const auto near_size = estimate_delta_size(as_view(doc_a), as_view(doc_b));
+  const auto far_size = estimate_delta_size(as_view(doc_a), as_view(doc_c));
+  EXPECT_LT(near_size * 3, far_size);
+
+  const auto full_near = encode(as_view(doc_a), as_view(doc_b)).delta.size();
+  EXPECT_LE(full_near, near_size * 3);  // light is coarser, not wildly off
+}
+
+TEST(Delta, CoverageMarksSharedChunksOnly) {
+  // Base = A B where only A appears in the target.
+  const std::string shared(4096, 's');
+  const std::string unique_part = "UNIQ" + std::string(4092, 'u');
+  const Bytes base = to_bytes(shared + unique_part);
+  const Bytes target = to_bytes("prefix " + shared + " suffix");
+  const auto result = encode(as_view(base), as_view(target));
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+
+  const std::size_t shared_chunks = shared.size() / kAnonChunkSize;
+  std::size_t covered_shared = 0;
+  for (std::size_t c = 0; c < shared_chunks; ++c) covered_shared += result.chunk_used[c];
+  EXPECT_GT(covered_shared, shared_chunks * 9 / 10);
+
+  // Chunks wholly inside the unique half must not be marked.
+  for (std::size_t c = shared_chunks + 1; c < result.chunk_used.size() - 1; ++c) {
+    EXPECT_FALSE(result.chunk_used[c]) << "chunk " << c;
+  }
+}
+
+TEST(Delta, CoverageSizeMatchesBase) {
+  const Bytes base = random_bytes(11, 1001);  // non-multiple of 4
+  const auto result = encode(as_view(base), as_view(base));
+  EXPECT_EQ(result.chunk_used.size(), (base.size() + 3) / 4);
+}
+
+// ------------------------------------------------------------ self-reference
+
+TEST(Delta, SelfReferenceCompressesRepetitiveTargets) {
+  // A run-heavy target with an unrelated base: Vdelta's target matching
+  // turns it into one small self-copy chain.
+  const Bytes base = to_bytes("completely unrelated base text");
+  const Bytes target(20000, 'x');
+  const auto result = encode(as_view(base), as_view(target));
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+  EXPECT_LT(result.delta.size(), 256u);
+
+  DeltaParams no_self = DeltaParams::full();
+  no_self.self_reference = false;
+  const auto plain = encode(as_view(base), as_view(target), no_self);
+  EXPECT_EQ(apply(as_view(base), as_view(plain.delta)), target);
+  EXPECT_LT(result.delta.size(), plain.delta.size());
+}
+
+TEST(Delta, SelfReferenceWorksWithEmptyBase) {
+  std::string s;
+  for (int i = 0; i < 300; ++i) s += "<item>repeated catalog row</item>\n";
+  const Bytes target = to_bytes(s);
+  const auto result = encode({}, as_view(target));
+  EXPECT_EQ(apply({}, as_view(result.delta)), target);
+  EXPECT_LT(result.delta.size(), target.size() / 10);
+}
+
+TEST(Delta, SelfCopiesDoNotPolluteBaseCoverage) {
+  // Coverage feeds the anonymizer and must reflect *base* commonality only.
+  const Bytes base = to_bytes(std::string(4096, 'b') + "shared-tail-content");
+  std::string s(4096, 'b');
+  s += "unique ";
+  for (int i = 0; i < 100; ++i) s += "selfselfself";
+  const Bytes target = to_bytes(s);
+  const auto result = encode(as_view(base), as_view(target));
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+  // The trailing base chunks ("shared-tail-content") never matched: the
+  // self-copies must not have marked them.
+  bool tail_marked = false;
+  for (std::size_t c = 1024; c < result.chunk_used.size(); ++c) {
+    tail_marked |= result.chunk_used[c];
+  }
+  EXPECT_FALSE(tail_marked);
+}
+
+TEST(Delta, OverlappingSelfCopyRoundTrips) {
+  // Period-3 run: self-copy distance smaller than length.
+  const Bytes base = to_bytes("zz");
+  std::string s = "abc";
+  while (s.size() < 5000) s += "abc";
+  const Bytes target = to_bytes(s);
+  const auto result = encode(as_view(base), as_view(target));
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+}
+
+TEST(Delta, MaliciousSelfCopyRejected) {
+  // Hand-craft a delta whose self-copy references the unwritten frontier.
+  const Bytes base = to_bytes("0123456789");
+  util::Bytes delta;
+  util::append(delta, std::string_view("CBD1"));
+  util::put_uvarint(delta, base.size());
+  util::put_uvarint(delta, 100);  // claimed target size
+  for (int i = 0; i < 8; ++i) delta.push_back(0);  // crcs (wrong, but later)
+  util::put_uvarint(delta, (50u << 1) | 1);        // COPY len 50
+  util::put_uvarint(delta, base.size() + 5);       // self addr 5 > frontier 0
+  EXPECT_THROW(apply(as_view(base), as_view(delta)), CorruptDelta);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(Delta, ApplyRejectsWrongBase) {
+  const Bytes base = to_bytes(std::string(5000, 'a') + "END");
+  const Bytes target = to_bytes(std::string(5000, 'a') + "end");
+  const auto result = encode(as_view(base), as_view(target));
+  Bytes wrong = base;
+  wrong[10] ^= 1;
+  EXPECT_THROW(apply(as_view(wrong), as_view(result.delta)), CorruptDelta);
+}
+
+TEST(Delta, ApplyRejectsTamperedDelta) {
+  const Bytes base = random_bytes(21, 4000);
+  Bytes target = base;
+  target[5] ^= 0xFF;
+  auto result = encode(as_view(base), as_view(target));
+  int rejected = 0;
+  for (std::size_t pos = 4; pos < result.delta.size(); pos += result.delta.size() / 9) {
+    Bytes damaged = result.delta;
+    damaged[pos] ^= 0x20;
+    try {
+      const Bytes out = apply(as_view(base), as_view(damaged));
+      EXPECT_EQ(out, target);  // only acceptable if the flip was immaterial
+    } catch (const CorruptDelta&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Delta, ApplyRejectsGarbage) {
+  const Bytes base = to_bytes("base");
+  EXPECT_THROW(apply(as_view(base), as_view(to_bytes("not a delta"))), CorruptDelta);
+  EXPECT_THROW(apply(as_view(base), {}), CorruptDelta);
+}
+
+TEST(Delta, InspectReportsHeader) {
+  const Bytes base = random_bytes(31, 1234);
+  const Bytes target = random_bytes(32, 777);
+  const auto result = encode(as_view(base), as_view(target));
+  const DeltaInfo info = inspect(as_view(result.delta));
+  EXPECT_EQ(info.base_size, base.size());
+  EXPECT_EQ(info.target_size, target.size());
+  EXPECT_EQ(info.base_crc, util::crc32(as_view(base)));
+  EXPECT_EQ(info.target_crc, util::crc32(as_view(target)));
+}
+
+TEST(Delta, BadParamsRejected) {
+  const Bytes d = to_bytes("x");
+  EXPECT_THROW(encode(as_view(d), as_view(d), DeltaParams{1, 1, 1, false}),
+               std::invalid_argument);
+  EXPECT_THROW(encode(as_view(d), as_view(d), DeltaParams{4, 0, 1, false}),
+               std::invalid_argument);
+  EXPECT_THROW(encode(as_view(d), as_view(d), DeltaParams{4, 1, 0, false}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ paper-scale behaviour
+
+TEST(Delta, TemporalSnapshotsProduceSmallDeltas) {
+  // Consecutive snapshots of one dynamic document: delta should be a small
+  // fraction of the document (the §II premise).
+  const trace::DocumentTemplate tmpl(7, trace::TemplateConfig{});
+  const Bytes snap1 = tmpl.generate(5, 77, 0);
+  const Bytes snap2 = tmpl.generate(5, 77, 10 * util::kSecond);
+  const auto result = encode(as_view(snap1), as_view(snap2));
+  EXPECT_EQ(apply(as_view(snap1), as_view(result.delta)), snap2);
+  EXPECT_LT(result.delta.size() * 5, snap2.size());
+}
+
+TEST(Delta, SpatialNeighborsProduceModerateDeltas) {
+  // Different documents of one category share the template skeleton: the
+  // delta should be far smaller than the document but larger than the
+  // temporal delta (the class-based premise).
+  const trace::DocumentTemplate tmpl(7, trace::TemplateConfig{});
+  const Bytes doc_a = tmpl.generate(5, 77, 0);
+  const Bytes doc_b = tmpl.generate(6, 88, 0);
+  const auto cross = encode(as_view(doc_a), as_view(doc_b));
+  EXPECT_EQ(apply(as_view(doc_a), as_view(cross.delta)), doc_b);
+  EXPECT_LT(cross.delta.size() * 2, doc_b.size());
+}
+
+}  // namespace
+}  // namespace cbde::delta

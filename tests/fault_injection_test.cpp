@@ -1,0 +1,195 @@
+// Failure-injection tests: the pipeline must never silently deliver wrong
+// content. Damage anywhere (delta in flight, base-file at rest, compressed
+// frames, proxy cache) must surface as a typed error or be absorbed without
+// corrupting reconstructions.
+#include <gtest/gtest.h>
+
+#include "client/http_client.hpp"
+#include "core/frontend.hpp"
+#include "core/simulation.hpp"
+#include "proxy/http_proxy.hpp"
+#include "util/rng.hpp"
+
+namespace cbde::core {
+namespace {
+
+using util::Bytes;
+
+struct FaultRig {
+  trace::SiteModel site;
+  server::OriginServer origin;
+  DeltaFrontend frontend;
+  util::SimTime now = 0;
+
+  static trace::SiteConfig site_config() {
+    trace::SiteConfig config;
+    config.host = "www.fault.example";
+    config.docs_per_category = 8;
+    return config;
+  }
+
+  static DeltaServerConfig server_config() {
+    DeltaServerConfig config;
+    config.anonymize = false;  // publish immediately: more delta traffic to attack
+    return config;
+  }
+
+  FaultRig() : site(site_config()), frontend(origin, server_config(), rules(site)) {
+    origin.add_site(site);
+  }
+
+  static http::RuleBook rules(const trace::SiteModel& site) {
+    http::RuleBook book;
+    book.add_rule(site.config().host, site.partition_rule());
+    return book;
+  }
+
+  client::Transport transport() {
+    return [this](const http::HttpRequest& req) {
+      const Bytes raw = frontend.handle_raw(util::as_view(req.serialize()), now);
+      return http::HttpResponse::parse(util::as_view(raw));
+    };
+  }
+};
+
+TEST(FaultInjection, RandomBitFlipsNeverYieldWrongContent) {
+  FaultRig rig;
+  util::Rng rng(4040);
+  // Warm the class so deltas flow.
+  {
+    client::HttpClientAgent warm(1);
+    warm.get(rig.site.url_for(trace::DocRef{0, 0}), rig.transport());
+  }
+
+  int delivered = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    rig.now += util::kSecond;
+    client::HttpClientAgent agent(100 + static_cast<std::uint64_t>(trial));
+    const auto doc_ref = trace::DocRef{0, static_cast<std::size_t>(trial) % 8};
+    const auto url = rig.site.url_for(doc_ref);
+    const Bytes expected = rig.site.generate(doc_ref, agent.user_id(), rig.now);
+
+    // Transport that flips one random body byte in every response.
+    client::Transport flipping = [&](const http::HttpRequest& req) {
+      auto resp = rig.transport()(req);
+      if (!resp.body.empty()) {
+        resp.body[rng.next_below(resp.body.size())] ^= static_cast<std::uint8_t>(
+            1u << rng.next_below(8));
+      }
+      return resp;
+    };
+    try {
+      const Bytes got = agent.get(url, flipping);
+      // A flip in a *direct* body is undetectable by design (no checksum on
+      // plain HTML) — but a delta path must never produce a wrong document.
+      if (agent.stats().delta_responses > 0) {
+        EXPECT_EQ(got, expected) << "delta path delivered corrupted content";
+      }
+      ++delivered;
+    } catch (const std::exception&) {
+      ++rejected;  // typed rejection is the expected outcome
+    }
+  }
+  EXPECT_GT(rejected, 30);  // most flips land in delta/base payloads
+  (void)delivered;
+}
+
+TEST(FaultInjection, CorruptedCachedBaseIsDetected) {
+  FaultRig rig;
+  client::HttpClientAgent agent(5);
+  const auto url = rig.site.url_for(trace::DocRef{0, 0});
+  agent.get(url, rig.transport());  // direct (class creation)
+  rig.now += util::kSecond;
+  agent.get(url, rig.transport());  // delta + base fetch
+
+  // Corrupt the base in flight on the next base fetch by bumping the
+  // version via a rebase-less trick: new client, tampered base response.
+  client::HttpClientAgent victim(6);
+  client::Transport tamper_base = [&](const http::HttpRequest& req) {
+    auto resp = rig.transport()(req);
+    if (const auto ct = resp.headers.get("Content-Type");
+        ct && *ct == "application/vnd.cbde-base") {
+      resp.body[resp.body.size() / 3] ^= 0x01;
+    }
+    return resp;
+  };
+  rig.now += util::kSecond;
+  EXPECT_THROW(victim.get(url, tamper_base), delta::CorruptDelta);
+}
+
+TEST(FaultInjection, TruncatedDeltaRejected) {
+  FaultRig rig;
+  client::HttpClientAgent warm(1);
+  warm.get(rig.site.url_for(trace::DocRef{0, 0}), rig.transport());
+  rig.now += util::kSecond;
+
+  client::HttpClientAgent agent(9);
+  client::Transport truncating = [&](const http::HttpRequest& req) {
+    auto resp = rig.transport()(req);
+    if (const auto ct = resp.headers.get("Content-Type");
+        ct && *ct == "application/vnd.cbde-delta") {
+      resp.body.resize(resp.body.size() / 2);
+    }
+    return resp;
+  };
+  EXPECT_THROW(agent.get(rig.site.url_for(trace::DocRef{0, 1}), truncating),
+               std::exception);
+}
+
+TEST(FaultInjection, ProxyEvictionOnlyCostsARefetch) {
+  FaultRig rig;
+  // A proxy so small it can never hold a base-file.
+  proxy::HttpProxy tiny_proxy(1024, [&rig](const http::HttpRequest& req) {
+    return rig.transport()(req);
+  });
+  client::Transport via_proxy = [&tiny_proxy](const http::HttpRequest& req) {
+    return tiny_proxy.handle(req);
+  };
+  client::HttpClientAgent warm(1);
+  warm.get(rig.site.url_for(trace::DocRef{0, 0}), via_proxy);
+  for (std::uint64_t user = 2; user <= 5; ++user) {
+    rig.now += util::kSecond;
+    client::HttpClientAgent agent(user);
+    const auto ref = trace::DocRef{0, 0};
+    const Bytes doc = agent.get(rig.site.url_for(ref), via_proxy);
+    EXPECT_EQ(doc, rig.site.generate(ref, user, rig.now));
+  }
+  EXPECT_EQ(tiny_proxy.stats().hits, 0u);  // nothing ever cached, all correct
+}
+
+TEST(FaultInjection, MixedVersionClientsAllReconstruct) {
+  // Force rebases so different clients hold different base versions; every
+  // client must still reconstruct exactly (refetching when told to).
+  trace::SiteConfig sconfig = FaultRig::site_config();
+  const trace::SiteModel site(sconfig);
+  server::OriginServer origin;
+  origin.add_site(site);
+  DeltaServerConfig dconfig;
+  dconfig.anonymize = false;
+  dconfig.rebase_timeout = 0;  // rebase eagerly
+  dconfig.selector.sample_prob = 1.0;
+  http::RuleBook rules;
+  rules.add_rule(sconfig.host, site.partition_rule());
+  DeltaFrontend frontend(origin, dconfig, std::move(rules));
+
+  util::SimTime now = 0;
+  std::vector<client::HttpClientAgent> agents;
+  for (std::uint64_t user = 1; user <= 6; ++user) agents.emplace_back(user);
+  client::Transport transport = [&](const http::HttpRequest& req) {
+    const Bytes raw = frontend.handle_raw(util::as_view(req.serialize()), now);
+    return http::HttpResponse::parse(util::as_view(raw));
+  };
+  for (int round = 0; round < 8; ++round) {
+    for (auto& agent : agents) {
+      now += util::kSecond;
+      const auto ref = trace::DocRef{0, static_cast<std::size_t>(round) % 8};
+      const Bytes doc = agent.get(site.url_for(ref), transport);
+      ASSERT_EQ(doc, site.generate(ref, agent.user_id(), now));
+    }
+  }
+  EXPECT_GT(frontend.delta_server().metrics().group_rebases, 0u);
+}
+
+}  // namespace
+}  // namespace cbde::core

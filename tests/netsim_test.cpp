@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "netsim/tcp_model.hpp"
+
+namespace cbde::netsim {
+namespace {
+
+TEST(TcpModel, ZeroBytesCostsSetupOnly) {
+  const auto lat = transfer_latency(0, LinkProfile::broadband());
+  EXPECT_EQ(lat.slow_start, 0);
+  EXPECT_EQ(lat.transmission, 0);
+  EXPECT_EQ(lat.total(), lat.setup + lat.queueing);
+}
+
+TEST(TcpModel, LatencyMonotoneInSize) {
+  const LinkProfile link = LinkProfile::broadband();
+  util::SimTime prev = 0;
+  for (std::size_t kb = 1; kb <= 512; kb *= 2) {
+    const auto lat = transfer_latency(kb * 1024, link);
+    EXPECT_GE(lat.total(), prev);
+    prev = lat.total();
+  }
+}
+
+TEST(TcpModel, HighBandwidthIsSlowStartDominated) {
+  // 30 KB on broadband: a handful of RTT-bound rounds, negligible
+  // serialization time.
+  const auto lat = transfer_latency(30 * 1024, LinkProfile::broadband());
+  EXPECT_GT(lat.rounds, 2);
+  EXPECT_GT(lat.slow_start, lat.transmission);
+}
+
+TEST(TcpModel, ModemIsTransmissionDominated) {
+  // 30 KB at 56 kb/s takes seconds of pure serialization.
+  const auto lat = transfer_latency(30 * 1024, LinkProfile::modem());
+  EXPECT_GT(lat.transmission, 3 * util::kSecond);
+  EXPECT_GT(lat.transmission, lat.slow_start);
+}
+
+TEST(TcpModel, SlowStartRoundsGrowLogarithmically) {
+  const LinkProfile link = LinkProfile::broadband();
+  const auto small = transfer_latency(1 * 1024, link);
+  const auto large = transfer_latency(30 * 1024, link);
+  // ~21 segments fit in rounds 1+2+4+8+16 -> 5 rounds vs 1 round for 1 KB.
+  EXPECT_EQ(small.rounds, 1);
+  EXPECT_EQ(large.rounds, 5);
+}
+
+TEST(TcpModel, PaperHighBandwidthRatioAboutFive) {
+  // §VI-A: with S1/S2 = 30, L1/L2 ~ log2(30) ~ 5 on high bandwidth
+  // (excluding connection setup, i.e. the slow-start round count).
+  const LinkProfile link = LinkProfile::broadband();
+  const double l1 =
+      static_cast<double>(transfer_latency(30 * 1024, link).total_no_setup());
+  const double l2 =
+      static_cast<double>(transfer_latency(1 * 1024, link).total_no_setup());
+  EXPECT_GT(l1 / l2, 3.0);
+  EXPECT_LT(l1 / l2, 7.0);
+}
+
+TEST(TcpModel, PaperModemRatioAboutTen) {
+  // §VI-A: on a 56k modem the fixed costs moderate the 30x size ratio to
+  // "around 10".
+  const LinkProfile link = LinkProfile::modem();
+  const double l1 = static_cast<double>(transfer_latency(30 * 1024, link).total());
+  const double l2 = static_cast<double>(transfer_latency(1 * 1024, link).total());
+  EXPECT_GT(l1 / l2, 6.0);
+  EXPECT_LT(l1 / l2, 16.0);
+}
+
+TEST(TcpModel, LossAddsPenalty) {
+  LinkProfile lossy = LinkProfile::broadband();
+  lossy.loss_rate = 0.05;
+  const auto clean = transfer_latency(100 * 1024, LinkProfile::broadband());
+  const auto dirty = transfer_latency(100 * 1024, lossy);
+  EXPECT_GT(dirty.loss_penalty, 0);
+  EXPECT_GT(dirty.total(), clean.total());
+}
+
+TEST(TcpModel, LargerInitialWindowReducesRounds) {
+  LinkProfile fast = LinkProfile::broadband();
+  fast.init_cwnd = 4;
+  const auto small_window = transfer_latency(64 * 1024, LinkProfile::broadband());
+  const auto big_window = transfer_latency(64 * 1024, fast);
+  EXPECT_LT(big_window.rounds, small_window.rounds);
+}
+
+TEST(TcpModel, InvalidProfilesRejected) {
+  LinkProfile bad = LinkProfile::broadband();
+  bad.bandwidth_bps = 0;
+  EXPECT_THROW(transfer_latency(100, bad), std::invalid_argument);
+  LinkProfile bad2 = LinkProfile::broadband();
+  bad2.init_cwnd = 0;
+  EXPECT_THROW(transfer_latency(100, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbde::netsim

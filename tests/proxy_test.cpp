@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "proxy/cache.hpp"
+
+namespace cbde::proxy {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+TEST(LruCache, MissThenHit) {
+  LruCache cache(1024);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", to_bytes("payload"));
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(util::as_string_view(*hit), "payload");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.put("a", Bytes(10, 'a'));
+  cache.put("b", Bytes(10, 'b'));
+  cache.put("c", Bytes(10, 'c'));
+  EXPECT_TRUE(cache.get("a").has_value());  // refresh "a"
+  cache.put("d", Bytes(10, 'd'));           // evicts "b" (LRU)
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCache, ReplaceUpdatesSizeAccounting) {
+  LruCache cache(100);
+  cache.put("k", Bytes(40, 'x'));
+  EXPECT_EQ(cache.size_bytes(), 40u);
+  cache.put("k", Bytes(10, 'y'));
+  EXPECT_EQ(cache.size_bytes(), 10u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LruCache, OversizedObjectNotStored) {
+  LruCache cache(50);
+  cache.put("big", Bytes(100, 'z'));
+  EXPECT_FALSE(cache.contains("big"));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_EQ(cache.stats().bytes_fetched, 100u);
+}
+
+TEST(LruCache, EraseRemovesEntry) {
+  LruCache cache(100);
+  cache.put("k", Bytes(10, 'x'));
+  cache.erase("k");
+  EXPECT_FALSE(cache.contains("k"));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  cache.erase("k");  // idempotent
+}
+
+TEST(LruCache, ByteAccountingInStats) {
+  LruCache cache(1000);
+  cache.put("k", Bytes(100, 'x'));
+  cache.get("k");
+  cache.get("k");
+  EXPECT_EQ(cache.stats().bytes_served, 200u);
+  EXPECT_EQ(cache.stats().bytes_fetched, 100u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 1.0, 1e-9);
+}
+
+TEST(LruCache, ZeroCapacityRejected) {
+  EXPECT_THROW(LruCache cache(0), std::invalid_argument);
+}
+
+TEST(LruCache, ManyInsertionsStayWithinCapacity) {
+  LruCache cache(500);
+  for (int i = 0; i < 200; ++i) {
+    cache.put("key" + std::to_string(i), Bytes(37, 'v'));
+    EXPECT_LE(cache.size_bytes(), 500u);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace cbde::proxy

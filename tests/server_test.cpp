@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "server/load.hpp"
+#include "server/origin.hpp"
+
+namespace cbde::server {
+namespace {
+
+// ---------------------------------------------------------------- origin
+
+TEST(OriginServer, ServesKnownDocuments) {
+  trace::SiteConfig config;
+  const trace::SiteModel site(config);
+  OriginServer origin;
+  origin.add_site(site);
+
+  const auto url = site.url_for(trace::DocRef{0, 3});
+  const auto result = origin.serve(url, 9, 0);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.headers.get("Cache-Control"), "no-cache");
+  EXPECT_GT(result.response.body.size(), 10000u);
+  EXPECT_GT(result.cpu_us, 0);
+}
+
+TEST(OriginServer, DocumentMatchesSiteGeneration) {
+  trace::SiteConfig config;
+  const trace::SiteModel site(config);
+  OriginServer origin;
+  origin.add_site(site);
+  const auto url = site.url_for(trace::DocRef{1, 7});
+  const auto doc = origin.document(url, 5, 42 * util::kSecond);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(*doc, site.generate(trace::DocRef{1, 7}, 5, 42 * util::kSecond));
+}
+
+TEST(OriginServer, UnknownHostAndDocGive404) {
+  trace::SiteConfig config;
+  const trace::SiteModel site(config);
+  OriginServer origin;
+  origin.add_site(site);
+  EXPECT_EQ(origin.serve(http::parse_url("www.unknown.com/x"), 1, 0).response.status, 404);
+  EXPECT_EQ(origin.serve(http::parse_url(config.host + "/nope"), 1, 0).response.status,
+            404);
+  EXPECT_FALSE(origin.document(http::parse_url("www.unknown.com/x"), 1, 0).has_value());
+}
+
+TEST(OriginServer, MultipleVirtualHosts) {
+  trace::SiteConfig c1;
+  c1.host = "www.a.com";
+  trace::SiteConfig c2;
+  c2.host = "www.b.com";
+  const trace::SiteModel s1(c1), s2(c2);
+  OriginServer origin;
+  origin.add_site(s1);
+  origin.add_site(s2);
+  EXPECT_EQ(origin.num_sites(), 2u);
+  EXPECT_EQ(origin.site("www.a.com"), &s1);
+  EXPECT_EQ(origin.site("www.b.com"), &s2);
+  EXPECT_EQ(origin.site("www.c.com"), nullptr);
+}
+
+TEST(OriginServer, DuplicateHostRejected) {
+  trace::SiteConfig config;
+  const trace::SiteModel site(config);
+  OriginServer origin;
+  origin.add_site(site);
+  EXPECT_THROW(origin.add_site(site), std::invalid_argument);
+}
+
+TEST(CpuModel, CostGrowsWithSize) {
+  const CpuModel cpu;
+  EXPECT_LT(cpu.generation_cost(1024), cpu.generation_cost(50 * 1024));
+  EXPECT_GE(cpu.generation_cost(0), cpu.fixed_us);
+}
+
+// ---------------------------------------------------------------- load harness
+
+TEST(LoadHarness, ThroughputIsCpuBoundWithFastClients) {
+  LoadConfig config;
+  config.mode = PipelineMode::kPlain;
+  config.num_clients = 100;
+  config.cpu_us_per_request = 5600;  // ~178 req/s
+  config.response_bytes = 30 * 1024;
+  config.client_link = netsim::LinkProfile::broadband();
+  const auto result = run_closed_loop(config);
+  EXPECT_GT(result.requests_per_sec, 150);
+  EXPECT_LT(result.requests_per_sec, 200);
+}
+
+TEST(LoadHarness, HigherCpuCostLowersThroughput) {
+  LoadConfig plain;
+  plain.cpu_us_per_request = 5600;
+  LoadConfig delta = plain;
+  delta.cpu_us_per_request = 7700;  // + delta generation
+  const auto plain_result = run_closed_loop(plain);
+  const auto delta_result = run_closed_loop(delta);
+  EXPECT_GT(plain_result.requests_per_sec, delta_result.requests_per_sec);
+}
+
+TEST(LoadHarness, SlowClientsExhaustPlainServerSlots) {
+  LoadConfig config;
+  config.mode = PipelineMode::kPlain;
+  config.num_clients = 400;
+  config.client_link = netsim::LinkProfile::modem();
+  config.response_bytes = 30 * 1024;
+  const auto result = run_closed_loop(config);
+  EXPECT_EQ(result.peak_connections, config.web_server_slots);
+  EXPECT_GT(result.refused, 0u);
+}
+
+TEST(LoadHarness, DeltaFrontEndSustainsMoreConnections) {
+  LoadConfig config;
+  config.mode = PipelineMode::kDelta;
+  config.num_clients = 600;
+  config.cpu_us_per_request = 7700;
+  config.client_link = netsim::LinkProfile::modem();
+  config.response_bytes = 3 * 1024;  // compressed delta
+  const auto result = run_closed_loop(config);
+  EXPECT_GT(result.peak_connections, 255u);
+  EXPECT_EQ(result.refused, 0u);
+}
+
+TEST(LoadHarness, ZeroDurationRejected) {
+  LoadConfig config;
+  config.duration = 0;
+  EXPECT_THROW(run_closed_loop(config), std::invalid_argument);
+}
+
+TEST(LoadHarness, DeterministicResults) {
+  LoadConfig config;
+  config.num_clients = 50;
+  const auto a = run_closed_loop(config);
+  const auto b = run_closed_loop(config);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+}
+
+}  // namespace
+}  // namespace cbde::server

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "delta/delta.hpp"
+#include "trace/access_log.hpp"
+#include "trace/document.hpp"
+#include "trace/site.hpp"
+#include "trace/workload.hpp"
+
+namespace cbde::trace {
+namespace {
+
+using util::as_view;
+
+// ---------------------------------------------------------------- documents
+
+TEST(Document, GenerationIsDeterministic) {
+  const DocumentTemplate tmpl(1, TemplateConfig{});
+  EXPECT_EQ(tmpl.generate(3, 9, 100), tmpl.generate(3, 9, 100));
+}
+
+TEST(Document, DiffersAcrossDocumentsUsersAndTime) {
+  const DocumentTemplate tmpl(1, TemplateConfig{});
+  const auto base = tmpl.generate(3, 9, 0);
+  EXPECT_NE(base, tmpl.generate(4, 9, 0));                       // other doc
+  EXPECT_NE(base, tmpl.generate(3, 10, 0));                    // other user
+  EXPECT_NE(base, tmpl.generate(3, 9, 600 * util::kSecond));   // later time
+}
+
+TEST(Document, SizeNearConfiguredBudget) {
+  TemplateConfig config;
+  const DocumentTemplate tmpl(5, config);
+  const auto doc = tmpl.generate(0, 0, 0);
+  EXPECT_GT(doc.size(), config.skeleton_bytes);
+  EXPECT_LT(doc.size(), tmpl.approx_size() * 2);
+}
+
+TEST(Document, TemporalCorrelationDecaysWithGap) {
+  const DocumentTemplate tmpl(2, TemplateConfig{});
+  const auto snap0 = tmpl.generate(1, 5, 0);
+  const auto near = tmpl.generate(1, 5, 5 * util::kSecond);
+  const auto far = tmpl.generate(1, 5, 3600 * util::kSecond);
+  const auto d_near = delta::estimate_delta_size(as_view(snap0), as_view(near));
+  const auto d_far = delta::estimate_delta_size(as_view(snap0), as_view(far));
+  EXPECT_LE(d_near, d_far);
+  EXPECT_LT(d_far * 3, snap0.size());  // even stale snapshots share most bytes
+}
+
+TEST(Document, PrivatePayloadIsUniquePerUserAndEmbedded) {
+  const DocumentTemplate tmpl(3, TemplateConfig{});
+  const std::string p1 = tmpl.private_payload(100);
+  const std::string p2 = tmpl.private_payload(101);
+  EXPECT_NE(p1, p2);
+  EXPECT_TRUE(p1.starts_with(kPrivateMarker));
+
+  const auto doc = tmpl.generate(7, 100, 0);
+  const std::string text = util::to_string(as_view(doc));
+  EXPECT_NE(text.find(p1), std::string::npos);
+  EXPECT_EQ(text.find(p2), std::string::npos);  // other users' secrets absent
+}
+
+TEST(Document, ZeroPrivateBytesOmitsPayload) {
+  TemplateConfig config;
+  config.private_bytes = 0;
+  const DocumentTemplate tmpl(4, config);
+  EXPECT_TRUE(tmpl.private_payload(1).empty());
+  const std::string text = util::to_string(as_view(tmpl.generate(0, 1, 0)));
+  EXPECT_EQ(text.find(std::string(kPrivateMarker)), std::string::npos);
+}
+
+TEST(Document, SynthProseApproximatesLength) {
+  const std::string s = synth_prose(9, 5000);
+  EXPECT_GE(s.size(), 5000u);
+  EXPECT_LT(s.size(), 5300u);
+}
+
+// ---------------------------------------------------------------- sites
+
+class SiteUrlStyles : public ::testing::TestWithParam<UrlStyle> {};
+
+TEST_P(SiteUrlStyles, UrlRoundTripsThroughResolve) {
+  SiteConfig config;
+  config.style = GetParam();
+  config.categories = {"laptops", "desktops", "tablets"};
+  config.docs_per_category = 20;
+  const SiteModel site(config);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t d : {0u, 7u, 19u}) {
+      const DocRef ref{c, d};
+      const auto resolved = site.resolve(site.url_for(ref));
+      ASSERT_TRUE(resolved.has_value());
+      EXPECT_EQ(*resolved, ref);
+    }
+  }
+}
+
+TEST_P(SiteUrlStyles, PartitionRuleExtractsCategoryAsHint) {
+  SiteConfig config;
+  config.style = GetParam();
+  const SiteModel site(config);
+  http::RuleBook book;
+  book.add_rule(config.host, site.partition_rule());
+  const auto url = site.url_for(DocRef{1, 5});
+  const auto parts = book.partition(url);
+  EXPECT_EQ(parts.server_part, config.host);
+  EXPECT_NE(parts.hint_part.find("desktops"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, SiteUrlStyles,
+                         ::testing::Values(UrlStyle::kPathSegment, UrlStyle::kQueryParam,
+                                           UrlStyle::kPathOnly));
+
+TEST(Site, ResolveRejectsForeignAndMalformedUrls) {
+  const SiteModel site(SiteConfig{});
+  EXPECT_FALSE(site.resolve(http::parse_url("www.other.com/laptops?id=1")).has_value());
+  EXPECT_FALSE(
+      site.resolve(http::parse_url("www.example.com/nosuchcat?id=1")).has_value());
+  EXPECT_FALSE(
+      site.resolve(http::parse_url("www.example.com/laptops?id=banana")).has_value());
+  EXPECT_FALSE(
+      site.resolve(http::parse_url("www.example.com/laptops?id=999999")).has_value());
+}
+
+TEST(Site, SameCategoryDocumentsAreSpatiallilyCorrelated) {
+  const SiteModel site(SiteConfig{});
+  const auto a = site.generate(DocRef{0, 1}, 10, 0);
+  const auto b = site.generate(DocRef{0, 2}, 11, 0);
+  const auto cross_cat = site.generate(DocRef{1, 1}, 10, 0);
+  const auto same = delta::estimate_delta_size(as_view(a), as_view(b));
+  const auto cross = delta::estimate_delta_size(as_view(a), as_view(cross_cat));
+  EXPECT_LT(same * 2, cross);  // same-category docs share the skeleton
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST(Workload, GeneratesRequestedCountSortedByTime) {
+  const SiteModel site(SiteConfig{});
+  WorkloadConfig config;
+  config.num_requests = 500;
+  WorkloadGenerator gen(site, config);
+  const auto reqs = gen.generate();
+  ASSERT_EQ(reqs.size(), 500u);
+  for (std::size_t i = 1; i < reqs.size(); ++i) EXPECT_GE(reqs[i].time, reqs[i - 1].time);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const SiteModel site(SiteConfig{});
+  WorkloadConfig config;
+  config.num_requests = 100;
+  const auto a = WorkloadGenerator(site, config).generate();
+  const auto b = WorkloadGenerator(site, config).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(Workload, UsersStayWithinPopulation) {
+  const SiteModel site(SiteConfig{});
+  WorkloadConfig config;
+  config.num_requests = 300;
+  config.num_users = 7;
+  for (const auto& req : WorkloadGenerator(site, config).generate()) {
+    EXPECT_LT(req.user_id, 7u);
+  }
+}
+
+TEST(Workload, ZipfSkewConcentratesRequests) {
+  SiteConfig sconfig;
+  sconfig.docs_per_category = 200;
+  const SiteModel site(sconfig);
+  WorkloadConfig config;
+  config.num_requests = 4000;
+  config.zipf_alpha = 1.1;
+  config.revisit_prob = 0.0;
+  std::map<std::size_t, int> counts;
+  for (const auto& req : WorkloadGenerator(site, config).generate()) {
+    ++counts[req.doc.category * 200 + req.doc.index];
+  }
+  // Far fewer distinct documents than requests.
+  EXPECT_LT(counts.size(), 350u);
+}
+
+TEST(Workload, RevisitProbabilityCreatesRepeats) {
+  const SiteModel site(SiteConfig{});
+  WorkloadConfig config;
+  config.num_requests = 1000;
+  config.num_users = 5;
+  config.revisit_prob = 0.9;
+  const auto reqs = WorkloadGenerator(site, config).generate();
+  std::map<std::uint64_t, std::set<std::size_t>> docs_per_user;
+  for (const auto& req : reqs) {
+    docs_per_user[req.user_id].insert(req.doc.category * 1000 + req.doc.index);
+  }
+  for (const auto& [user, docs] : docs_per_user) {
+    EXPECT_LT(docs.size(), 100u);  // heavy revisiting: small working set
+  }
+}
+
+// ---------------------------------------------------------------- access log
+
+TEST(AccessLog, ClfRoundTrip) {
+  AccessLogRecord rec;
+  rec.time = 90061 * util::kSecond;  // 1 day, 1 h, 1 min, 1 s
+  rec.user_id = 42;
+  rec.host = "www.foo.com";
+  rec.target = "/laptops?id=100";
+  rec.status = 200;
+  rec.bytes = 31245;
+  const std::string line = format_clf(rec);
+  const auto parsed = parse_clf(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, rec.time);
+  EXPECT_EQ(parsed->user_id, 42u);
+  EXPECT_EQ(parsed->target, "/laptops?id=100");
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->bytes, 31245u);
+  EXPECT_EQ(parsed->host, "www.foo.com");
+}
+
+TEST(AccessLog, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_clf("").has_value());
+  EXPECT_FALSE(parse_clf("garbage").has_value());
+  EXPECT_FALSE(parse_clf("1.2.3.4 - u1 [bad date] \"GET / HTTP/1.1\" 200 10").has_value());
+  EXPECT_FALSE(
+      parse_clf("1.2.3.4 - uX [01/Jan/2026:00:00:00 +0000] \"GET / HTTP/1.1\" 200 10")
+          .has_value());
+}
+
+TEST(AccessLog, StreamRoundTripSkipsBadLines) {
+  const SiteModel site(SiteConfig{});
+  WorkloadConfig config;
+  config.num_requests = 50;
+  const auto reqs = WorkloadGenerator(site, config).generate();
+  const auto records = to_records(reqs, site);
+  ASSERT_EQ(records.size(), 50u);
+  for (const auto& rec : records) EXPECT_GT(rec.bytes, 0u);
+
+  std::stringstream ss;
+  write_access_log(ss, records);
+  ss << "this line is broken\n";
+  std::size_t skipped = 0;
+  const auto back = read_access_log(ss, &skipped);
+  EXPECT_EQ(back.size(), 50u);
+  EXPECT_EQ(skipped, 1u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].user_id, records[i].user_id);
+    EXPECT_EQ(back[i].target, records[i].target);
+    // CLF keeps whole seconds only.
+    EXPECT_EQ(back[i].time, records[i].time / util::kSecond * util::kSecond);
+  }
+}
+
+}  // namespace
+}  // namespace cbde::trace

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "delta/vcdiff.hpp"
+#include "trace/document.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace cbde::delta {
+namespace {
+
+using util::Bytes;
+using util::as_view;
+using util::to_bytes;
+
+Bytes random_bytes(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+TEST(Vcdiff, IdenticalFilesRoundTrip) {
+  const Bytes doc = to_bytes(trace::synth_prose(1, 20000));
+  const Bytes delta = vcdiff_encode(as_view(doc), as_view(doc));
+  EXPECT_EQ(vcdiff_apply(as_view(doc), as_view(delta)), doc);
+  EXPECT_LT(delta.size(), 64u);
+}
+
+TEST(Vcdiff, EmptyCases) {
+  const Bytes base = to_bytes("base content here");
+  EXPECT_TRUE(vcdiff_apply(as_view(base),
+                           as_view(vcdiff_encode(as_view(base), {})))
+                  .empty());
+  const Bytes target = to_bytes("brand new content");
+  EXPECT_EQ(vcdiff_apply({}, as_view(vcdiff_encode({}, as_view(target)))), target);
+}
+
+TEST(Vcdiff, RunInstructionCompressesRepeats) {
+  const Bytes base = to_bytes("unrelated");
+  const Bytes target(10000, 'x');
+  const Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+  EXPECT_EQ(vcdiff_apply(as_view(base), as_view(delta)), target);
+  EXPECT_LT(delta.size(), 64u);  // one RUN instruction
+  const auto info = vcdiff_inspect(as_view(delta));
+  EXPECT_EQ(info.data_section, 1u);  // just the run byte
+}
+
+TEST(Vcdiff, SectionsAreSeparated) {
+  const trace::DocumentTemplate tmpl(5, trace::TemplateConfig{});
+  const Bytes base = tmpl.generate(0, 1, 0);
+  const Bytes target = tmpl.generate(1, 2, 0);
+  const Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+  const auto info = vcdiff_inspect(as_view(delta));
+  EXPECT_EQ(info.base_size, base.size());
+  EXPECT_EQ(info.target_size, target.size());
+  EXPECT_GT(info.data_section, 0u);
+  EXPECT_GT(info.inst_section, 0u);
+  EXPECT_GT(info.addr_section, 0u);
+  EXPECT_EQ(vcdiff_apply(as_view(base), as_view(delta)), target);
+}
+
+TEST(Vcdiff, AgreesWithNativeEncoderOnReconstruction) {
+  const trace::DocumentTemplate tmpl(9, trace::TemplateConfig{});
+  const Bytes base = tmpl.generate(0, 1, 0);
+  for (std::uint64_t doc = 0; doc < 4; ++doc) {
+    const Bytes target = tmpl.generate(doc, 7, 90 * util::kSecond);
+    const Bytes native = encode(as_view(base), as_view(target)).delta;
+    const Bytes vcd = vcdiff_encode(as_view(base), as_view(target));
+    EXPECT_EQ(apply(as_view(base), as_view(native)),
+              vcdiff_apply(as_view(base), as_view(vcd)));
+  }
+}
+
+TEST(Vcdiff, RandomizedEditSweep) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 100 + rng.next_below(6000);
+    Bytes base = random_bytes(rng.next_u64(), n);
+    Bytes target = base;
+    for (std::size_t e = rng.next_below(15); e > 0 && !target.empty(); --e) {
+      const std::size_t pos = rng.next_below(target.size());
+      switch (rng.next_below(3)) {
+        case 0: target[pos] ^= 0x55; break;
+        case 1:
+          target.insert(target.begin() + static_cast<std::ptrdiff_t>(pos), 64,
+                        static_cast<std::uint8_t>(rng.next_below(256)));
+          break;
+        default:
+          target.erase(target.begin() + static_cast<std::ptrdiff_t>(pos),
+                       target.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(pos + 32, target.size())));
+          break;
+      }
+    }
+    const Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+    ASSERT_EQ(vcdiff_apply(as_view(base), as_view(delta)), target) << trial;
+  }
+}
+
+class VcdiffParamSweep : public ::testing::TestWithParam<VcdiffParams> {};
+
+TEST_P(VcdiffParamSweep, RoundTripsTemplateDocs) {
+  const trace::DocumentTemplate tmpl(11, trace::TemplateConfig{});
+  const Bytes base = tmpl.generate(0, 1, 0);
+  const Bytes target = tmpl.generate(2, 9, 60 * util::kSecond);
+  const Bytes delta = vcdiff_encode(as_view(base), as_view(target), GetParam());
+  EXPECT_EQ(vcdiff_apply(as_view(base), as_view(delta)), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, VcdiffParamSweep,
+                         ::testing::Values(VcdiffParams{},
+                                           VcdiffParams{4, 64, 8, 8, 1},
+                                           VcdiffParams{8, 8, 32, 32, 8},
+                                           VcdiffParams{2, 16, 4, 4, 16}));
+
+TEST(Vcdiff, NearCacheShrinksAddresses) {
+  // Alternating copies between two far-apart regions: the near cache should
+  // keep the addresses cheap relative to absolute encoding.
+  std::string base_s = trace::synth_prose(21, 40000);
+  std::string target_s;
+  for (int i = 0; i < 20; ++i) {
+    target_s += base_s.substr(100 + static_cast<std::size_t>(i) * 40, 200);
+    target_s += base_s.substr(35000 + static_cast<std::size_t>(i) * 40, 200);
+  }
+  const Bytes base = to_bytes(base_s);
+  const Bytes target = to_bytes(target_s);
+  const Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+  EXPECT_EQ(vcdiff_apply(as_view(base), as_view(delta)), target);
+  const auto info = vcdiff_inspect(as_view(delta));
+  // ~40 copies; absolute addressing would need ~3 bytes each.
+  EXPECT_LT(info.addr_section, 40u * 3u);
+}
+
+TEST(Vcdiff, RejectsWrongBaseAndGarbage) {
+  const Bytes base = to_bytes(trace::synth_prose(3, 5000));
+  const Bytes target = to_bytes(trace::synth_prose(4, 5000));
+  const Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+  Bytes wrong = base;
+  wrong[0] ^= 1;
+  EXPECT_THROW(vcdiff_apply(as_view(wrong), as_view(delta)), CorruptDelta);
+  EXPECT_THROW(vcdiff_apply(as_view(base), as_view(to_bytes("junk"))), CorruptDelta);
+  EXPECT_THROW(vcdiff_apply(as_view(base), {}), CorruptDelta);
+}
+
+TEST(Vcdiff, TamperedSectionsDetected) {
+  const Bytes base = to_bytes(trace::synth_prose(5, 8000));
+  Bytes target = base;
+  for (std::size_t i = 0; i < 50; ++i) target[i * 37] ^= 0xFF;
+  Bytes delta = vcdiff_encode(as_view(base), as_view(target));
+  int rejected = 0;
+  for (std::size_t pos = 21; pos < delta.size(); pos += delta.size() / 11) {
+    Bytes damaged = delta;
+    damaged[pos] ^= 0x08;
+    try {
+      EXPECT_EQ(vcdiff_apply(as_view(base), as_view(damaged)), target);
+    } catch (const CorruptDelta&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Vcdiff, InvalidParamsRejected) {
+  const Bytes d = to_bytes("x");
+  VcdiffParams bad;
+  bad.min_match = 2;  // below key_len
+  EXPECT_THROW(vcdiff_encode(as_view(d), as_view(d), bad), std::invalid_argument);
+  VcdiffParams bad2;
+  bad2.near_slots = 0;
+  EXPECT_THROW(vcdiff_encode(as_view(d), as_view(d), bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbde::delta
