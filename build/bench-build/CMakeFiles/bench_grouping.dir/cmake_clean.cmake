@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grouping"
+  "../bench/bench_grouping.pdb"
+  "CMakeFiles/bench_grouping.dir/bench_grouping.cpp.o"
+  "CMakeFiles/bench_grouping.dir/bench_grouping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

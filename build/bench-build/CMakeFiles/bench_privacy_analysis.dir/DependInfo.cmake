@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_privacy_analysis.cpp" "bench-build/CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o" "gcc" "bench-build/CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cbde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/cbde_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cbde_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/cbde_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cbde_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/cbde_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbde_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbde_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_privacy_analysis"
+  "../bench/bench_privacy_analysis.pdb"
+  "CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o"
+  "CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_basefile"
+  "../bench/bench_table3_basefile.pdb"
+  "CMakeFiles/bench_table3_basefile.dir/bench_table3_basefile.cpp.o"
+  "CMakeFiles/bench_table3_basefile.dir/bench_table3_basefile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_basefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

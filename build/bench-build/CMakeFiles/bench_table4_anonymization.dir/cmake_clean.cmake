@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_anonymization"
+  "../bench/bench_table4_anonymization.pdb"
+  "CMakeFiles/bench_table4_anonymization.dir/bench_table4_anonymization.cpp.o"
+  "CMakeFiles/bench_table4_anonymization.dir/bench_table4_anonymization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

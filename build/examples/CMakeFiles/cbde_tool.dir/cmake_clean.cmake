@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_tool.dir/cbde_tool.cpp.o"
+  "CMakeFiles/cbde_tool.dir/cbde_tool.cpp.o.d"
+  "cbde_tool"
+  "cbde_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configured_frontend.dir/configured_frontend.cpp.o"
+  "CMakeFiles/configured_frontend.dir/configured_frontend.cpp.o.d"
+  "configured_frontend"
+  "configured_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configured_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

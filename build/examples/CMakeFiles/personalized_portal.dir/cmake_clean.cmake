@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_portal.dir/personalized_portal.cpp.o"
+  "CMakeFiles/personalized_portal.dir/personalized_portal.cpp.o.d"
+  "personalized_portal"
+  "personalized_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/agent.cpp" "src/client/CMakeFiles/cbde_client.dir/agent.cpp.o" "gcc" "src/client/CMakeFiles/cbde_client.dir/agent.cpp.o.d"
+  "/root/repo/src/client/http_client.cpp" "src/client/CMakeFiles/cbde_client.dir/http_client.cpp.o" "gcc" "src/client/CMakeFiles/cbde_client.dir/http_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/cbde_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cbde_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_client.dir/agent.cpp.o"
+  "CMakeFiles/cbde_client.dir/agent.cpp.o.d"
+  "CMakeFiles/cbde_client.dir/http_client.cpp.o"
+  "CMakeFiles/cbde_client.dir/http_client.cpp.o.d"
+  "libcbde_client.a"
+  "libcbde_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

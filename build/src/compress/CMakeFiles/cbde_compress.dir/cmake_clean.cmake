@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_compress.dir/bitio.cpp.o"
+  "CMakeFiles/cbde_compress.dir/bitio.cpp.o.d"
+  "CMakeFiles/cbde_compress.dir/compressor.cpp.o"
+  "CMakeFiles/cbde_compress.dir/compressor.cpp.o.d"
+  "CMakeFiles/cbde_compress.dir/huffman.cpp.o"
+  "CMakeFiles/cbde_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/cbde_compress.dir/lz77.cpp.o"
+  "CMakeFiles/cbde_compress.dir/lz77.cpp.o.d"
+  "libcbde_compress.a"
+  "libcbde_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymizer.cpp" "src/core/CMakeFiles/cbde_core.dir/anonymizer.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/anonymizer.cpp.o.d"
+  "/root/repo/src/core/base_store.cpp" "src/core/CMakeFiles/cbde_core.dir/base_store.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/base_store.cpp.o.d"
+  "/root/repo/src/core/basefile_selector.cpp" "src/core/CMakeFiles/cbde_core.dir/basefile_selector.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/basefile_selector.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/cbde_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/class_manager.cpp" "src/core/CMakeFiles/cbde_core.dir/class_manager.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/class_manager.cpp.o.d"
+  "/root/repo/src/core/config_loader.cpp" "src/core/CMakeFiles/cbde_core.dir/config_loader.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/config_loader.cpp.o.d"
+  "/root/repo/src/core/delta_server.cpp" "src/core/CMakeFiles/cbde_core.dir/delta_server.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/delta_server.cpp.o.d"
+  "/root/repo/src/core/event_pipeline.cpp" "src/core/CMakeFiles/cbde_core.dir/event_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/event_pipeline.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/cbde_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/cbde_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/cbde_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/cbde_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cbde_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbde_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbde_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/cbde_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cbde_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/cbde_server.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

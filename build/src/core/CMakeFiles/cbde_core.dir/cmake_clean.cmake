@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_core.dir/anonymizer.cpp.o"
+  "CMakeFiles/cbde_core.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/base_store.cpp.o"
+  "CMakeFiles/cbde_core.dir/base_store.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/basefile_selector.cpp.o"
+  "CMakeFiles/cbde_core.dir/basefile_selector.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/baselines.cpp.o"
+  "CMakeFiles/cbde_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/class_manager.cpp.o"
+  "CMakeFiles/cbde_core.dir/class_manager.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/config_loader.cpp.o"
+  "CMakeFiles/cbde_core.dir/config_loader.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/delta_server.cpp.o"
+  "CMakeFiles/cbde_core.dir/delta_server.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/event_pipeline.cpp.o"
+  "CMakeFiles/cbde_core.dir/event_pipeline.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/frontend.cpp.o"
+  "CMakeFiles/cbde_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/cbde_core.dir/simulation.cpp.o"
+  "CMakeFiles/cbde_core.dir/simulation.cpp.o.d"
+  "libcbde_core.a"
+  "libcbde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_delta.dir/delta.cpp.o"
+  "CMakeFiles/cbde_delta.dir/delta.cpp.o.d"
+  "CMakeFiles/cbde_delta.dir/vcdiff.cpp.o"
+  "CMakeFiles/cbde_delta.dir/vcdiff.cpp.o.d"
+  "libcbde_delta.a"
+  "libcbde_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

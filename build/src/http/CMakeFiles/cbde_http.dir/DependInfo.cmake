@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/cbde_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/cbde_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/partition.cpp" "src/http/CMakeFiles/cbde_http.dir/partition.cpp.o" "gcc" "src/http/CMakeFiles/cbde_http.dir/partition.cpp.o.d"
+  "/root/repo/src/http/url.cpp" "src/http/CMakeFiles/cbde_http.dir/url.cpp.o" "gcc" "src/http/CMakeFiles/cbde_http.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

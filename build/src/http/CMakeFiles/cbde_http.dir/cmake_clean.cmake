@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_http.dir/message.cpp.o"
+  "CMakeFiles/cbde_http.dir/message.cpp.o.d"
+  "CMakeFiles/cbde_http.dir/partition.cpp.o"
+  "CMakeFiles/cbde_http.dir/partition.cpp.o.d"
+  "CMakeFiles/cbde_http.dir/url.cpp.o"
+  "CMakeFiles/cbde_http.dir/url.cpp.o.d"
+  "libcbde_http.a"
+  "libcbde_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_netsim.dir/event.cpp.o"
+  "CMakeFiles/cbde_netsim.dir/event.cpp.o.d"
+  "CMakeFiles/cbde_netsim.dir/tcp_model.cpp.o"
+  "CMakeFiles/cbde_netsim.dir/tcp_model.cpp.o.d"
+  "libcbde_netsim.a"
+  "libcbde_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/cache.cpp" "src/proxy/CMakeFiles/cbde_proxy.dir/cache.cpp.o" "gcc" "src/proxy/CMakeFiles/cbde_proxy.dir/cache.cpp.o.d"
+  "/root/repo/src/proxy/gd_cache.cpp" "src/proxy/CMakeFiles/cbde_proxy.dir/gd_cache.cpp.o" "gcc" "src/proxy/CMakeFiles/cbde_proxy.dir/gd_cache.cpp.o.d"
+  "/root/repo/src/proxy/http_proxy.cpp" "src/proxy/CMakeFiles/cbde_proxy.dir/http_proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/cbde_proxy.dir/http_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

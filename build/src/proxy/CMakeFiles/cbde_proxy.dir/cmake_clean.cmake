@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_proxy.dir/cache.cpp.o"
+  "CMakeFiles/cbde_proxy.dir/cache.cpp.o.d"
+  "CMakeFiles/cbde_proxy.dir/gd_cache.cpp.o"
+  "CMakeFiles/cbde_proxy.dir/gd_cache.cpp.o.d"
+  "CMakeFiles/cbde_proxy.dir/http_proxy.cpp.o"
+  "CMakeFiles/cbde_proxy.dir/http_proxy.cpp.o.d"
+  "libcbde_proxy.a"
+  "libcbde_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

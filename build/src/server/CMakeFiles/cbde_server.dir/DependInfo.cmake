@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/load.cpp" "src/server/CMakeFiles/cbde_server.dir/load.cpp.o" "gcc" "src/server/CMakeFiles/cbde_server.dir/load.cpp.o.d"
+  "/root/repo/src/server/origin.cpp" "src/server/CMakeFiles/cbde_server.dir/origin.cpp.o" "gcc" "src/server/CMakeFiles/cbde_server.dir/origin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbde_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbde_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_server.dir/load.cpp.o"
+  "CMakeFiles/cbde_server.dir/load.cpp.o.d"
+  "CMakeFiles/cbde_server.dir/origin.cpp.o"
+  "CMakeFiles/cbde_server.dir/origin.cpp.o.d"
+  "libcbde_server.a"
+  "libcbde_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/access_log.cpp" "src/trace/CMakeFiles/cbde_trace.dir/access_log.cpp.o" "gcc" "src/trace/CMakeFiles/cbde_trace.dir/access_log.cpp.o.d"
+  "/root/repo/src/trace/document.cpp" "src/trace/CMakeFiles/cbde_trace.dir/document.cpp.o" "gcc" "src/trace/CMakeFiles/cbde_trace.dir/document.cpp.o.d"
+  "/root/repo/src/trace/site.cpp" "src/trace/CMakeFiles/cbde_trace.dir/site.cpp.o" "gcc" "src/trace/CMakeFiles/cbde_trace.dir/site.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/cbde_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/cbde_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

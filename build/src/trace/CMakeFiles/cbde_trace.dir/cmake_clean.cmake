@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_trace.dir/access_log.cpp.o"
+  "CMakeFiles/cbde_trace.dir/access_log.cpp.o.d"
+  "CMakeFiles/cbde_trace.dir/document.cpp.o"
+  "CMakeFiles/cbde_trace.dir/document.cpp.o.d"
+  "CMakeFiles/cbde_trace.dir/site.cpp.o"
+  "CMakeFiles/cbde_trace.dir/site.cpp.o.d"
+  "CMakeFiles/cbde_trace.dir/workload.cpp.o"
+  "CMakeFiles/cbde_trace.dir/workload.cpp.o.d"
+  "libcbde_trace.a"
+  "libcbde_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbde_trace.a"
+)

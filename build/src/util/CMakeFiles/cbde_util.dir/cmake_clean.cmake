@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbde_util.dir/hash.cpp.o"
+  "CMakeFiles/cbde_util.dir/hash.cpp.o.d"
+  "CMakeFiles/cbde_util.dir/rng.cpp.o"
+  "CMakeFiles/cbde_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cbde_util.dir/stats.cpp.o"
+  "CMakeFiles/cbde_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cbde_util.dir/strings.cpp.o"
+  "CMakeFiles/cbde_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cbde_util.dir/zipf.cpp.o"
+  "CMakeFiles/cbde_util.dir/zipf.cpp.o.d"
+  "libcbde_util.a"
+  "libcbde_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbde_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anonymizer_test.cpp" "tests/CMakeFiles/cbde_tests.dir/anonymizer_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/anonymizer_test.cpp.o.d"
+  "/root/repo/tests/base_store_test.cpp" "tests/CMakeFiles/cbde_tests.dir/base_store_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/base_store_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/cbde_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/class_manager_test.cpp" "tests/CMakeFiles/cbde_tests.dir/class_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/class_manager_test.cpp.o.d"
+  "/root/repo/tests/client_test.cpp" "tests/CMakeFiles/cbde_tests.dir/client_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/client_test.cpp.o.d"
+  "/root/repo/tests/compress_test.cpp" "tests/CMakeFiles/cbde_tests.dir/compress_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/compress_test.cpp.o.d"
+  "/root/repo/tests/config_loader_test.cpp" "tests/CMakeFiles/cbde_tests.dir/config_loader_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/config_loader_test.cpp.o.d"
+  "/root/repo/tests/delta_server_test.cpp" "tests/CMakeFiles/cbde_tests.dir/delta_server_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/delta_server_test.cpp.o.d"
+  "/root/repo/tests/delta_test.cpp" "tests/CMakeFiles/cbde_tests.dir/delta_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/delta_test.cpp.o.d"
+  "/root/repo/tests/event_test.cpp" "tests/CMakeFiles/cbde_tests.dir/event_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/event_test.cpp.o.d"
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/cbde_tests.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/cbde_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/gd_cache_test.cpp" "tests/CMakeFiles/cbde_tests.dir/gd_cache_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/gd_cache_test.cpp.o.d"
+  "/root/repo/tests/http_test.cpp" "tests/CMakeFiles/cbde_tests.dir/http_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/http_test.cpp.o.d"
+  "/root/repo/tests/netsim_test.cpp" "tests/CMakeFiles/cbde_tests.dir/netsim_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/netsim_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/cbde_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/cbde_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/proxy_test.cpp" "tests/CMakeFiles/cbde_tests.dir/proxy_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/proxy_test.cpp.o.d"
+  "/root/repo/tests/selector_test.cpp" "tests/CMakeFiles/cbde_tests.dir/selector_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/selector_test.cpp.o.d"
+  "/root/repo/tests/server_test.cpp" "tests/CMakeFiles/cbde_tests.dir/server_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/server_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/cbde_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/cbde_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/vcdiff_test.cpp" "tests/CMakeFiles/cbde_tests.dir/vcdiff_test.cpp.o" "gcc" "tests/CMakeFiles/cbde_tests.dir/vcdiff_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cbde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/cbde_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cbde_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/cbde_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cbde_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/cbde_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbde_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cbde_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbde_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
