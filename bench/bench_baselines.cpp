@@ -69,7 +69,6 @@ int main() {
   print_rule(70);
   double gzip_factor = 0;
   double hpp_factor = 0;
-  double classless_factor = 0;
   for (const auto& baseline : baselines) {
     const auto& c = baseline->counters();
     std::printf("%-18s %12.0f %11.1f%% %9.1fx %12.0f\n",
@@ -78,7 +77,6 @@ int main() {
                 to_kb(baseline->storage_bytes()));
     if (baseline->name() == "gzip-only") gzip_factor = c.reduction_factor();
     if (baseline->name() == "hpp") hpp_factor = c.reduction_factor();
-    if (baseline->name() == "classless-delta") classless_factor = c.reduction_factor();
   }
   const auto report = cbde_pipeline.report();
   const double cbde_wire =

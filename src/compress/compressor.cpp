@@ -147,6 +147,7 @@ util::Bytes decompress(util::BytesView input) {
   pos = 4;
   const auto size = util::get_uvarint(input, pos);
   if (!size) throw CorruptInput("cbz: bad size varint");
+  if (*size > kMaxDecompressSize) throw CorruptInput("cbz: claimed size exceeds decode cap");
   if (pos + 4 > input.size()) throw CorruptInput("cbz: truncated header");
   std::uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) crc |= static_cast<std::uint32_t>(input[pos++]) << (8 * i);
@@ -160,7 +161,8 @@ util::Bytes decompress(util::BytesView input) {
     final = (flags & kFlagFinal) != 0;
     if ((flags & kFlagHuffman) == 0) {
       const auto len = util::get_uvarint(input, pos);
-      if (!len || pos + *len > input.size()) throw CorruptInput("cbz: bad stored block");
+      // Subtraction-form bound: `pos + *len` wraps for 64-bit length claims.
+      if (!len || *len > input.size() - pos) throw CorruptInput("cbz: bad stored block");
       util::append(out, input.subspan(pos, static_cast<std::size_t>(*len)));
       pos += static_cast<std::size_t>(*len);
       continue;

@@ -25,6 +25,11 @@ class CorruptInput : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Decode-side allocation cap: decompress() rejects headers claiming more
+/// than this before reserving memory, so a few framing bytes cannot demand
+/// a multi-gigabyte output buffer. Mirrors delta::kMaxDecodeTargetSize.
+inline constexpr std::size_t kMaxDecompressSize = std::size_t{1} << 30;  // 1 GiB
+
 struct CompressParams {
   std::size_t max_chain = 128;    ///< LZ77 search effort
   std::size_t good_enough = 64;   ///< early-exit match length

@@ -66,7 +66,7 @@ std::optional<util::Bytes> unframe(const util::Bytes& file) {
   if (pos + 4 > file.size()) return std::nullopt;
   std::uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) crc |= static_cast<std::uint32_t>(file[pos++]) << (8 * i);
-  if (pos + *size != file.size()) return std::nullopt;
+  if (*size != file.size() - pos) return std::nullopt;  // subtraction form: no wrap
   util::Bytes payload(file.begin() + static_cast<std::ptrdiff_t>(pos), file.end());
   if (util::crc32(util::as_view(payload)) != crc) return std::nullopt;
   return payload;

@@ -249,6 +249,9 @@ DeltaInfo parse_header(util::BytesView delta, std::size_t& pos) {
   const auto base_size = util::get_uvarint(delta, pos);
   const auto target_size = util::get_uvarint(delta, pos);
   if (!base_size || !target_size) throw CorruptDelta("delta: bad size varint");
+  if (*base_size > kMaxDecodeTargetSize || *target_size > kMaxDecodeTargetSize) {
+    throw CorruptDelta("delta: claimed size exceeds decode cap");
+  }
   DeltaInfo info;
   info.base_size = static_cast<std::size_t>(*base_size);
   info.target_size = static_cast<std::size_t>(*target_size);

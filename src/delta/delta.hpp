@@ -32,6 +32,13 @@ namespace cbde::delta {
 /// Anonymization granularity: the 4-byte chunks of §V.
 inline constexpr std::size_t kAnonChunkSize = 4;
 
+/// Decode-side allocation cap, shared by the CBD1 and VCDIFF decoders.
+/// Delta headers carry attacker-controlled base/target sizes; apply()
+/// rejects any header claiming more than this *before* reserving memory,
+/// so a 20-byte delta cannot demand a 16 GB target buffer. Far above any
+/// real document this system serves (documents are web pages).
+inline constexpr std::size_t kMaxDecodeTargetSize = std::size_t{1} << 30;  // 1 GiB
+
 /// Thrown by apply() on malformed deltas or a base-file mismatch.
 class CorruptDelta : public std::runtime_error {
  public:

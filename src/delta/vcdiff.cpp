@@ -74,13 +74,26 @@ class AddressCache {
     if (!raw) throw CorruptDelta("vcdiff: bad address varint");
     std::int64_t addr = 0;
     if (mode == kModeSelf) {
+      if (*raw > static_cast<std::uint64_t>(INT64_MAX)) {
+        throw CorruptDelta("vcdiff: address overflow");
+      }
       addr = static_cast<std::int64_t>(*raw);
-    } else if (mode == kModeHere) {
-      addr = static_cast<std::int64_t>(predicted_) + unzigzag(*raw);
     } else {
-      const std::size_t slot = mode - kModeNear0;
-      if (slot >= near_.size()) throw CorruptDelta("vcdiff: bad address mode");
-      addr = static_cast<std::int64_t>(near_[slot]) + unzigzag(*raw);
+      std::size_t anchor = 0;
+      if (mode == kModeHere) {
+        anchor = predicted_;
+      } else {
+        const std::size_t slot = mode - kModeNear0;
+        if (slot >= near_.size()) throw CorruptDelta("vcdiff: bad address mode");
+        anchor = near_[slot];
+      }
+      // Anchors are bounded by the decode cap, but the delta-supplied offset
+      // spans the full zigzag range; a wrapped sum would alias a valid
+      // address, so the add must be checked.
+      if (__builtin_add_overflow(static_cast<std::int64_t>(anchor), unzigzag(*raw),
+                                 &addr)) {
+        throw CorruptDelta("vcdiff: address overflow");
+      }
     }
     if (addr < 0) throw CorruptDelta("vcdiff: negative address");
     return static_cast<std::size_t>(addr);
@@ -181,6 +194,9 @@ Sections parse_container(util::BytesView delta) {
   const auto base_size = util::get_uvarint(delta, pos);
   const auto target_size = util::get_uvarint(delta, pos);
   if (!base_size || !target_size) throw CorruptDelta("vcdiff: bad sizes");
+  if (*base_size > kMaxDecodeTargetSize || *target_size > kMaxDecodeTargetSize) {
+    throw CorruptDelta("vcdiff: claimed size exceeds decode cap");
+  }
   s.info.base_size = static_cast<std::size_t>(*base_size);
   s.info.target_size = static_cast<std::size_t>(*target_size);
   s.info.base_crc = get_u32le(delta, pos);
@@ -192,13 +208,19 @@ Sections parse_container(util::BytesView delta) {
   const auto inst_len = util::get_uvarint(delta, pos);
   const auto addr_len = util::get_uvarint(delta, pos);
   if (!data_len || !inst_len || !addr_len) throw CorruptDelta("vcdiff: bad section sizes");
+  // Account for the sections by subtracting from the remaining byte count —
+  // attacker-chosen section lengths can wrap a naive pos + a + b + c sum.
+  std::size_t remaining = delta.size() - pos;
+  if (*data_len > remaining) throw CorruptDelta("vcdiff: data section too large");
+  remaining -= static_cast<std::size_t>(*data_len);
+  if (*inst_len > remaining) throw CorruptDelta("vcdiff: inst section too large");
+  remaining -= static_cast<std::size_t>(*inst_len);
+  if (*addr_len != remaining) {
+    throw CorruptDelta("vcdiff: section sizes do not match container");
+  }
   s.info.data_section = static_cast<std::size_t>(*data_len);
   s.info.inst_section = static_cast<std::size_t>(*inst_len);
   s.info.addr_section = static_cast<std::size_t>(*addr_len);
-  if (pos + s.info.data_section + s.info.inst_section + s.info.addr_section !=
-      delta.size()) {
-    throw CorruptDelta("vcdiff: section sizes do not match container");
-  }
   s.data = delta.subspan(pos, s.info.data_section);
   s.inst = delta.subspan(pos + s.info.data_section, s.info.inst_section);
   s.addr = delta.subspan(pos + s.info.data_section + s.info.inst_section,
@@ -295,8 +317,13 @@ util::Bytes vcdiff_apply(util::BytesView base, util::BytesView delta) {
     const auto size = util::get_uvarint(s.inst, inst_pos);
     if (!size) throw CorruptDelta("vcdiff: bad instruction size");
     const auto len = static_cast<std::size_t>(*size);
+    // Bound the output *before* materializing the instruction, so a rogue
+    // RUN/ADD length is rejected rather than allocated.
+    if (len > s.info.target_size - out.size()) {
+      throw CorruptDelta("vcdiff: output exceeds target size");
+    }
     if (tag == kTagAdd) {
-      if (data_pos + len > s.data.size()) throw CorruptDelta("vcdiff: ADD past data");
+      if (len > s.data.size() - data_pos) throw CorruptDelta("vcdiff: ADD past data");
       util::append(out, s.data.subspan(data_pos, len));
       data_pos += len;
     } else if (tag == kTagRun) {
@@ -305,12 +332,11 @@ util::Bytes vcdiff_apply(util::BytesView base, util::BytesView delta) {
     } else {
       const std::size_t mode = static_cast<std::size_t>(tag) - kTagCopyBase;
       const std::size_t copy_addr = cache.decode(s.addr, addr_pos, mode);
-      if (copy_addr + len > base.size()) throw CorruptDelta("vcdiff: COPY out of range");
+      if (len > base.size() || copy_addr > base.size() - len) {
+        throw CorruptDelta("vcdiff: COPY out of range");
+      }
       util::append(out, base.subspan(copy_addr, len));
       cache.update(copy_addr, len);
-    }
-    if (out.size() > s.info.target_size) {
-      throw CorruptDelta("vcdiff: output exceeds target size");
     }
   }
   if (data_pos != s.data.size() || addr_pos != s.addr.size()) {

@@ -61,7 +61,11 @@ util::Bytes parse_body(Cursor& cur, const HeaderMap& headers) {
         cur.read_line();  // trailing CRLF after last chunk (no trailers supported)
         return body;
       }
-      if (cur.pos + chunk + 2 > cur.data.size()) throw HttpError("http: truncated chunk");
+      // Subtraction-form bound: `pos + chunk + 2` wraps for attacker-sized
+      // chunk values and would sail past the check.
+      if (cur.data.size() - cur.pos < 2 || chunk > cur.data.size() - cur.pos - 2) {
+        throw HttpError("http: truncated chunk");
+      }
       util::append(body, cur.data.subspan(cur.pos, chunk));
       cur.pos += chunk;
       if (util::as_string_view(cur.data.subspan(cur.pos, 2)) != kCrlf) {
@@ -72,7 +76,7 @@ util::Bytes parse_body(Cursor& cur, const HeaderMap& headers) {
   }
   if (const auto cl = headers.get("Content-Length")) {
     const std::size_t n = parse_size(*cl, 10, "Content-Length");
-    if (cur.pos + n > cur.data.size()) throw HttpError("http: truncated body");
+    if (n > cur.data.size() - cur.pos) throw HttpError("http: truncated body");
     util::Bytes body(cur.data.begin() + static_cast<std::ptrdiff_t>(cur.pos),
                      cur.data.begin() + static_cast<std::ptrdiff_t>(cur.pos + n));
     cur.pos += n;

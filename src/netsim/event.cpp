@@ -1,18 +1,20 @@
 #include "netsim/event.hpp"
 
+#include <algorithm>
+
 namespace cbde::netsim {
 
 void EventQueue::schedule(util::SimTime at, Callback fn) {
   CBDE_EXPECT(at >= now_);
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast on the handle —
-  // standard practice for move-only payloads in a pq we immediately pop.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   now_ = entry.at;
   entry.fn();
   return true;
@@ -25,7 +27,7 @@ std::size_t EventQueue::run(std::size_t limit) {
 }
 
 void EventQueue::run_until(util::SimTime until) {
-  while (!heap_.empty() && heap_.top().at <= until) run_next();
+  while (!heap_.empty() && heap_.front().at <= until) run_next();
   now_ = std::max(now_, until);
 }
 

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/clock.hpp"
@@ -52,7 +51,10 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Min-heap over (at, seq), owned directly as a vector so the earliest
+  // entry can be *moved* out on pop (priority_queue::top() is const, which
+  // forces a const_cast for move-only payloads — UB bait).
+  std::vector<Entry> heap_;
   util::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

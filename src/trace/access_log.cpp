@@ -55,7 +55,10 @@ std::optional<util::SimTime> parse_time(std::string_view s) {
   const std::string_view mon = s.substr(3, 3);
   int month = -1;
   for (std::size_t i = 0; i < kMonths.size(); ++i) {
-    if (kMonths[i] == mon) month = static_cast<int>(i) + 1;
+    if (kMonths[i] == mon) {
+      month = static_cast<int>(i) + 1;
+      break;
+    }
   }
   if (month < 0) return std::nullopt;
   const auto date = std::chrono::year{*year} / std::chrono::month{static_cast<unsigned>(month)} /

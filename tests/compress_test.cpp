@@ -88,7 +88,9 @@ TEST(Huffman, SingleSymbolGetsLengthOne) {
   const auto lengths = build_code_lengths(freqs);
   EXPECT_EQ(lengths[7], 1);
   for (std::size_t s = 0; s < 10; ++s) {
-    if (s != 7) EXPECT_EQ(lengths[s], 0);
+    if (s != 7) {
+      EXPECT_EQ(lengths[s], 0);
+    }
   }
 }
 

@@ -67,7 +67,9 @@ TEST_P(PipelineInvariants, HoldAcrossConfigurations) {
   EXPECT_LE(report.server.wire_bytes, report.server.direct_bytes);
 
   // Invariant 3: base traffic is split exactly between origin and proxy.
-  if (!param.proxy) EXPECT_EQ(report.proxy_base_bytes, 0u);
+  if (!param.proxy) {
+    EXPECT_EQ(report.proxy_base_bytes, 0u);
+  }
 
   // Invariant 4: the scheme's storage never exceeds the classless scheme's.
   EXPECT_LE(report.storage_bytes, report.classless_storage_bytes);
