@@ -1,0 +1,324 @@
+// Performance report harness (docs/PERFORMANCE.md).
+//
+// Unlike the experiment benches (which reproduce paper tables), this binary
+// measures the implementation itself and writes a machine-readable
+// BENCH_delta.json so perf changes are visible across commits:
+//   * micro: one-shot vs cached-index delta encode, size-only estimate,
+//     apply(), crc32 — throughput MB/s, ns/op, delta-size ratios;
+//   * end-to-end: DeltaServer::serve() driven through a DeltaWorkerPool
+//     with 1 and 4 workers — ns/request and the multi-thread speedup.
+//
+// Flags:
+//   --smoke      tiny corpus / few iterations (CI sanity run, < 1 s)
+//   --out PATH   where to write the JSON (default: BENCH_delta.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/delta_server.hpp"
+#include "core/delta_worker_pool.hpp"
+#include "delta/delta.hpp"
+#include "trace/site.hpp"
+#include "util/hash.hpp"
+
+namespace cbde {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+double mbps(std::size_t bytes, double ns) {
+  return ns <= 0 ? 0.0 : static_cast<double>(bytes) / (ns / 1e9) / (1024.0 * 1024.0);
+}
+
+/// Time `fn` (which must consume/produce `bytes_per_op`) for `iters`
+/// iterations after `warmup` untimed ones; returns ns per iteration.
+template <typename Fn>
+double time_op(int warmup, int iters, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  return elapsed_ns(t0, Clock::now()) / iters;
+}
+
+trace::TemplateConfig sized_template(std::size_t page_bytes) {
+  trace::TemplateConfig config;
+  config.skeleton_bytes = page_bytes * 86 / 100;
+  config.doc_unique_bytes = page_bytes * 6 / 100;
+  config.volatile_bytes = page_bytes * 25 / 1000;
+  config.personal_bytes = page_bytes / 100;
+  return config;
+}
+
+struct JsonWriter {
+  std::string out = "{\n";
+  int depth = 1;
+  bool first_in_scope = true;
+
+  void indent() { out.append(static_cast<std::size_t>(depth) * 2, ' '); }
+  void comma() {
+    if (!first_in_scope) out += ",\n";
+    first_in_scope = false;
+  }
+  void open(const std::string& key) {
+    comma();
+    indent();
+    out += "\"" + key + "\": {\n";
+    ++depth;
+    first_in_scope = true;
+  }
+  void close() {
+    out += "\n";
+    --depth;
+    indent();
+    out += "}";
+    first_in_scope = false;
+  }
+  void field(const std::string& key, double value) {
+    comma();
+    indent();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    out += "\"" + key + "\": " + buf;
+  }
+  void field(const std::string& key, std::size_t value) {
+    comma();
+    indent();
+    out += "\"" + key + "\": " + std::to_string(value);
+  }
+  std::string finish() {
+    out += "\n}\n";
+    return out;
+  }
+};
+
+struct EndToEndResult {
+  double ns_per_request = 0;
+  double doc_mbps = 0;
+  double delta_ratio = 0;  ///< wire bytes / document bytes over the run
+};
+
+/// Drive a fresh DeltaServer through a DeltaWorkerPool: one warmup pass
+/// creates the classes and publishes bases, then `requests` timed requests
+/// fan out over `workers` threads.
+EndToEndResult run_end_to_end(const trace::SiteModel& site, std::size_t workers,
+                              std::size_t requests) {
+  core::DeltaServerConfig config;
+  config.anonymize = false;  // steady state: every request is grouped+encoded
+  config.selector.sample_prob = 0.05;
+  config.rebase_timeout = 1000000 * util::kSecond;
+  config.basic_rebase_after = 1 << 20;
+
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  core::DeltaServer server(config, std::move(rules));
+
+  // Warmup: create one class per category and publish its base.
+  const std::size_t cats = site.num_categories();
+  for (std::size_t c = 0; c < cats; ++c) {
+    const trace::DocRef ref{c, 0};
+    const util::Bytes doc = site.generate(ref, 1, 0);
+    server.serve(1, site.url_for(ref), util::as_view(doc), 0);
+  }
+
+  // Pre-generate the request stream so document generation is not timed.
+  struct Req {
+    std::uint64_t user;
+    http::Url url;
+    util::Bytes doc;
+    util::SimTime now;
+  };
+  std::vector<Req> stream;
+  stream.reserve(requests);
+  std::size_t doc_bytes = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const trace::DocRef ref{i % cats, 1 + i % (site.config().docs_per_category - 1)};
+    const std::uint64_t user = 2 + i % 17;
+    const util::SimTime now = static_cast<util::SimTime>(i) * util::kSecond;
+    Req req{user, site.url_for(ref), site.generate(ref, user, now), now};
+    doc_bytes += req.doc.size();
+    stream.push_back(std::move(req));
+  }
+
+  std::vector<std::future<core::ServedResponse>> futures;
+  futures.reserve(requests);
+  const auto t0 = Clock::now();
+  {
+    core::DeltaWorkerPool pool(server, workers);
+    for (Req& req : stream) {
+      futures.push_back(
+          pool.submit(req.user, std::move(req.url), std::move(req.doc), req.now));
+    }
+    pool.shutdown();
+  }
+  std::size_t wire_bytes = 0;
+  for (auto& f : futures) wire_bytes += f.get().wire_body.size();
+  const double total_ns = elapsed_ns(t0, Clock::now());
+
+  EndToEndResult result;
+  result.ns_per_request = total_ns / static_cast<double>(requests);
+  result.doc_mbps = mbps(doc_bytes, total_ns);
+  result.delta_ratio = static_cast<double>(wire_bytes) / static_cast<double>(doc_bytes);
+  return result;
+}
+
+}  // namespace
+}  // namespace cbde
+
+int main(int argc, char** argv) {
+  using namespace cbde;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_delta.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t page = smoke ? (8 << 10) : (55 << 10);
+  const int iters = smoke ? 20 : 200;
+  const std::size_t e2e_requests = smoke ? 32 : 256;
+
+  // Micro corpus: one template, three documents — the base, a later snapshot
+  // of the same document (temporal delta) and another user's different
+  // document (cross delta), mirroring the paper's two delta populations.
+  const trace::DocumentTemplate tmpl(7, sized_template(page));
+  const util::Bytes base = tmpl.generate(0, 1, 0);
+  const util::Bytes temporal = tmpl.generate(0, 1, 120 * util::kSecond);
+  const util::Bytes cross = tmpl.generate(3, 9, 120 * util::kSecond);
+  const delta::Encoder cached(base);  // full params, index built once
+
+  JsonWriter json;
+  json.open("config");
+  json.field("page_bytes", page);
+  json.field("smoke", static_cast<std::size_t>(smoke ? 1 : 0));
+  json.field("end_to_end_requests", e2e_requests);
+  // Thread scaling is bounded by the cores actually available; on a 1-core
+  // host speedup_4v1 ~ 1.0 measures pool overhead, not parallelism.
+  json.field("hardware_concurrency",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.close();
+
+  const auto bench_encode = [&](const char* key, const util::Bytes& target,
+                                bool use_cached) {
+    std::size_t delta_bytes = 0;
+    const double ns = time_op(3, iters, [&] {
+      delta_bytes = use_cached
+                        ? cached.encode(util::as_view(target)).delta.size()
+                        : delta::encode(util::as_view(base), util::as_view(target))
+                              .delta.size();
+    });
+    json.open(key);
+    json.field("ns_per_op", ns);
+    json.field("mbps", mbps(target.size(), ns));
+    json.field("delta_bytes", delta_bytes);
+    json.field("delta_ratio",
+               static_cast<double>(delta_bytes) / static_cast<double>(target.size()));
+    json.close();
+    std::printf("%-28s %12.0f ns   %8.2f MB/s   delta %zu B\n", key, ns,
+                mbps(target.size(), ns), delta_bytes);
+  };
+
+  json.open("micro");
+  bench_encode("encode_oneshot_temporal", temporal, false);
+  bench_encode("encode_oneshot_cross", cross, false);
+  bench_encode("encode_cached_temporal", temporal, true);
+  bench_encode("encode_cached_cross", cross, true);
+
+  {
+    std::size_t size = 0;
+    const double ns = time_op(3, iters, [&] {
+      size = cached.encode_size(util::as_view(cross));
+    });
+    json.open("encode_size_cached_cross");
+    json.field("ns_per_op", ns);
+    json.field("delta_bytes", size);
+    json.close();
+    std::printf("%-28s %12.0f ns   (size %zu B)\n", "encode_size_cached_cross", ns, size);
+  }
+  {
+    std::size_t size = 0;
+    const double ns = time_op(3, iters, [&] {
+      size = delta::estimate_delta_size(util::as_view(base), util::as_view(cross));
+    });
+    json.open("estimate_light");
+    json.field("ns_per_op", ns);
+    json.field("delta_bytes", size);
+    json.close();
+    std::printf("%-28s %12.0f ns   (size %zu B)\n", "estimate_light", ns, size);
+  }
+  {
+    const util::Bytes delta_bytes = cached.encode(util::as_view(cross)).delta;
+    const double ns = time_op(3, iters * 4, [&] {
+      (void)delta::apply(util::as_view(base), util::as_view(delta_bytes));
+    });
+    json.open("apply");
+    json.field("ns_per_op", ns);
+    json.field("mbps", mbps(cross.size(), ns));
+    json.close();
+    std::printf("%-28s %12.0f ns   %8.2f MB/s\n", "apply", ns, mbps(cross.size(), ns));
+  }
+  {
+    std::uint32_t sink = 0;
+    const double ns = time_op(3, iters * 20, [&] {
+      sink ^= util::crc32(util::as_view(base));
+    });
+    json.open("crc32");
+    json.field("ns_per_op", ns);
+    json.field("mbps", mbps(base.size(), ns));
+    json.close();
+    std::printf("%-28s %12.0f ns   %8.2f MB/s   (sink %u)\n", "crc32", ns,
+                mbps(base.size(), ns), sink);
+  }
+  json.close();  // micro
+
+  // End-to-end: full serve() path (grouping + encode + compress) through
+  // the worker pool.
+  trace::SiteConfig sconfig;
+  sconfig.categories = {"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"};
+  sconfig.docs_per_category = 16;
+  sconfig.doc_template = sized_template(page);
+  const trace::SiteModel site(sconfig);
+
+  json.open("end_to_end");
+  double ns_1 = 0;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const EndToEndResult r = run_end_to_end(site, workers, e2e_requests);
+    const std::string key = "workers_" + std::to_string(workers);
+    json.open(key);
+    json.field("ns_per_request", r.ns_per_request);
+    json.field("doc_mbps", r.doc_mbps);
+    json.field("wire_ratio", r.delta_ratio);
+    json.close();
+    std::printf("%-28s %12.0f ns/req %8.2f MB/s   wire ratio %.3f\n", key.c_str(),
+                r.ns_per_request, r.doc_mbps, r.delta_ratio);
+    if (workers == 1) ns_1 = r.ns_per_request;
+    if (workers == 4 && ns_1 > 0) {
+      json.field("speedup_4v1", ns_1 / r.ns_per_request);
+      std::printf("%-28s %12.2fx\n", "speedup_4v1", ns_1 / r.ns_per_request);
+    }
+  }
+  json.close();  // end_to_end
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.finish();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

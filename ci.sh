@@ -19,6 +19,20 @@ cmake --build --preset asan-ubsan -j "$JOBS"
 echo "== ctest under ASan+UBSan (unit + property + fuzz) =="
 ctest --preset asan-ubsan -j "$JOBS"
 
+echo "== threaded stress under TSan (DeltaServerPool) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS" --target cbde_tests
+ctest --preset tsan -R DeltaServerPool --output-on-failure
+
+echo "== perf harness smoke (bench_perf_report --smoke) =="
+cmake --build --preset asan-ubsan -j "$JOBS" --target bench_perf_report
+BENCH_JSON="build/asan-ubsan/BENCH_delta.json"
+./build/asan-ubsan/bench/bench_perf_report --smoke --out "$BENCH_JSON"
+for key in encode_cached_cross speedup_4v1 hardware_concurrency; do
+  grep -q "\"$key\"" "$BENCH_JSON" ||
+    { echo "ci.sh: $BENCH_JSON missing key $key" >&2; exit 1; }
+done
+
 if [ "${1:-}" = "--fast" ]; then
   echo "== clang-tidy skipped (--fast) =="
   exit 0

@@ -31,18 +31,24 @@ Anonymizer::Anonymizer(AnonymizerConfig config) : config_(config) {
 }
 
 void Anonymizer::begin(util::Bytes base, std::uint64_t owner_user) {
-  base_ = std::move(base);
+  encoder_ = std::make_unique<delta::Encoder>(std::move(base), config_.delta_params);
   owner_ = owner_user;
-  counters_.assign((base_.size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
+  counters_.assign(
+      (encoder_->base().size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
   users_.clear();
   in_progress_ = true;
+}
+
+const util::Bytes& Anonymizer::pending_base() const {
+  static const util::Bytes empty;
+  return encoder_ ? encoder_->base() : empty;
 }
 
 bool Anonymizer::observe(std::uint64_t user_id, util::BytesView doc) {
   if (!in_progress_ || ready()) return false;
   if (user_id == owner_ || users_.contains(user_id)) return false;
   users_.insert(user_id);
-  const auto result = delta::encode(util::as_view(base_), doc, config_.delta_params);
+  const auto result = encoder_->encode(doc);
   CBDE_ASSERT(result.chunk_used.size() == counters_.size());
   for (std::size_t c = 0; c < counters_.size(); ++c) {
     if (result.chunk_used[c]) ++counters_[c];
@@ -53,8 +59,9 @@ bool Anonymizer::observe(std::uint64_t user_id, util::BytesView doc) {
 util::Bytes Anonymizer::finalize() {
   CBDE_EXPECT(ready());
   in_progress_ = false;
-  util::Bytes out = remove_uncommon_chunks(util::as_view(base_), counters_, config_.min_common);
-  base_.clear();
+  util::Bytes out = remove_uncommon_chunks(util::as_view(encoder_->base()), counters_,
+                                           config_.min_common);
+  encoder_.reset();
   counters_.clear();
   users_.clear();
   return out;
@@ -64,8 +71,9 @@ util::Bytes anonymize_against(util::BytesView base, const std::vector<util::Byte
                               std::size_t min_common, const delta::DeltaParams& params) {
   std::vector<std::uint32_t> counters(
       (base.size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
+  const delta::Encoder encoder(util::Bytes(base.begin(), base.end()), params);
   for (const auto& doc : docs) {
-    const auto result = delta::encode(base, util::as_view(doc), params);
+    const auto result = encoder.encode(util::as_view(doc));
     for (std::size_t c = 0; c < counters.size(); ++c) {
       if (result.chunk_used[c]) ++counters[c];
     }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -52,14 +53,16 @@ class Anonymizer {
   util::Bytes finalize();
 
   std::size_t users_observed() const { return users_.size(); }
-  const util::Bytes& pending_base() const { return base_; }
+  const util::Bytes& pending_base() const;
   const std::vector<std::uint32_t>& counters() const { return counters_; }
   const AnonymizerConfig& config() const { return config_; }
 
  private:
   AnonymizerConfig config_;
   bool in_progress_ = false;
-  util::Bytes base_;
+  /// Owns the pending base and its prebuilt match index: begin() pays the
+  /// index build once, the N observe() encodes reuse it.
+  std::unique_ptr<delta::Encoder> encoder_;
   std::uint64_t owner_ = 0;
   std::vector<std::uint32_t> counters_;
   std::unordered_set<std::uint64_t> users_;

@@ -32,15 +32,15 @@ void BaseFileSelector::insert_candidate(util::BytesView doc) {
   if (candidates_.size() >= config_.max_samples) evict_candidate();
 
   const std::size_t idx = candidates_.size();
-  candidates_.emplace_back(doc.begin(), doc.end());
+  candidates_.push_back(std::make_unique<delta::Encoder>(
+      util::Bytes(doc.begin(), doc.end()), config_.score_params));
+  const delta::Encoder& fresh = *candidates_[idx];
 
   if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
     // Column set is the reference set; score the new candidate against it.
     std::vector<double> row(references_.size(), 0.0);
     for (std::size_t j = 0; j < references_.size(); ++j) {
-      row[j] = static_cast<double>(delta::estimate_delta_size(
-          util::as_view(candidates_[idx]), util::as_view(references_[j]),
-          config_.score_params));
+      row[j] = static_cast<double>(fresh.encode_size(util::as_view(references_[j])));
     }
     score_matrix_.push_back(std::move(row));
     return;
@@ -49,11 +49,9 @@ void BaseFileSelector::insert_candidate(util::BytesView doc) {
   // One-set policies: extend the square matrix with a new row and column.
   std::vector<double> row(idx + 1, 0.0);
   for (std::size_t j = 0; j < idx; ++j) {
-    row[j] = static_cast<double>(delta::estimate_delta_size(
-        util::as_view(candidates_[idx]), util::as_view(candidates_[j]), config_.score_params));
-    score_matrix_[j].push_back(static_cast<double>(delta::estimate_delta_size(
-        util::as_view(candidates_[j]), util::as_view(candidates_[idx]),
-        config_.score_params)));
+    row[j] = static_cast<double>(fresh.encode_size(util::as_view(candidates_[j]->base())));
+    score_matrix_[j].push_back(
+        static_cast<double>(candidates_[j]->encode_size(util::as_view(fresh.base()))));
   }
   score_matrix_.push_back(std::move(row));
 }
@@ -69,9 +67,8 @@ void BaseFileSelector::insert_reference(util::BytesView doc) {
   }
   references_.emplace_back(doc.begin(), doc.end());
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
-    score_matrix_[i].push_back(static_cast<double>(delta::estimate_delta_size(
-        util::as_view(candidates_[i]), util::as_view(references_.back()),
-        config_.score_params)));
+    score_matrix_[i].push_back(
+        static_cast<double>(candidates_[i]->encode_size(util::as_view(references_.back()))));
   }
 }
 
@@ -140,7 +137,7 @@ void BaseFileSelector::remove_candidate(std::size_t idx) {
 
 const util::Bytes* BaseFileSelector::best() const {
   if (candidates_.empty()) return nullptr;
-  return &candidates_[best_index()];
+  return &candidates_[best_index()]->base();
 }
 
 double BaseFileSelector::best_score() const {
@@ -150,7 +147,7 @@ double BaseFileSelector::best_score() const {
 
 std::size_t BaseFileSelector::stored_bytes() const {
   std::size_t total = 0;
-  for (const auto& doc : candidates_) total += doc.size();
+  for (const auto& candidate : candidates_) total += candidate->base().size();
   for (const auto& doc : references_) total += doc.size();
   return total;
 }
@@ -188,20 +185,20 @@ OnlineOptimalPolicy::OnlineOptimalPolicy(delta::DeltaParams score_params)
 
 void OnlineOptimalPolicy::observe(util::BytesView doc) {
   const std::size_t idx = docs_.size();
-  docs_.emplace_back(doc.begin(), doc.end());
+  docs_.push_back(std::make_unique<delta::Encoder>(util::Bytes(doc.begin(), doc.end()),
+                                                   score_params_));
+  const delta::Encoder& fresh = *docs_[idx];
   score_.push_back(0.0);
   for (std::size_t j = 0; j < idx; ++j) {
-    score_[idx] += static_cast<double>(delta::estimate_delta_size(
-        util::as_view(docs_[idx]), util::as_view(docs_[j]), score_params_));
-    score_[j] += static_cast<double>(delta::estimate_delta_size(
-        util::as_view(docs_[j]), util::as_view(docs_[idx]), score_params_));
+    score_[idx] += static_cast<double>(fresh.encode_size(util::as_view(docs_[j]->base())));
+    score_[j] += static_cast<double>(docs_[j]->encode_size(util::as_view(fresh.base())));
   }
   best_ = static_cast<std::size_t>(
       std::min_element(score_.begin(), score_.end()) - score_.begin());
 }
 
 const util::Bytes* OnlineOptimalPolicy::current_base() const {
-  return docs_.empty() ? nullptr : &docs_[best_];
+  return docs_.empty() ? nullptr : &docs_[best_]->base();
 }
 
 std::size_t offline_optimal_index(const std::vector<util::Bytes>& docs,
@@ -210,11 +207,12 @@ std::size_t offline_optimal_index(const std::vector<util::Bytes>& docs,
   std::size_t best = 0;
   double best_score = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < docs.size(); ++i) {
+    // One index build per base, then size-only scans against every target.
+    const delta::Encoder encoder(docs[i], score_params);
     double total = 0.0;
     for (std::size_t j = 0; j < docs.size(); ++j) {
       if (i == j) continue;
-      total += static_cast<double>(delta::estimate_delta_size(
-          util::as_view(docs[i]), util::as_view(docs[j]), score_params));
+      total += static_cast<double>(encoder.encode_size(util::as_view(docs[j])));
     }
     if (total < best_score) {
       best_score = total;

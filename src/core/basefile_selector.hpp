@@ -86,7 +86,11 @@ class BaseFileSelector {
 
   SelectorConfig config_;
   util::Rng rng_;
-  std::vector<util::Bytes> candidates_;
+  /// Each stored candidate is held as an Encoder (score_params) so its
+  /// match index is built once on admission; scoring a newcomer against K
+  /// incumbents then costs K index-free size-only scans instead of K index
+  /// builds.
+  std::vector<std::unique_ptr<delta::Encoder>> candidates_;
   /// score_matrix_[i][j] = delta size with candidates_[i] as base and
   /// (candidates_ or references_)[j] as target, j != i for the one-set
   /// policies.
@@ -143,7 +147,9 @@ class OnlineOptimalPolicy : public BasePolicy {
 
  private:
   delta::DeltaParams score_params_;
-  std::vector<util::Bytes> docs_;
+  /// One encoder per stored document: observe() is O(n) size-only scans
+  /// plus a single index build, not O(n) builds.
+  std::vector<std::unique_ptr<delta::Encoder>> docs_;
   std::vector<double> score_;  // sum of deltas from docs_[i] to all others
   std::size_t best_ = 0;
 };

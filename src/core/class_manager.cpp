@@ -15,7 +15,7 @@ ClassManager::ClassManager(GroupingConfig config, std::uint64_t seed)
 
 ClassManager::Decision ClassManager::group(
     const http::UrlParts& parts, util::BytesView doc,
-    const std::function<util::BytesView(ClassId)>& base_of) {
+    const std::function<const delta::Encoder*(ClassId)>& encoder_of) {
   ++stats_.requests;
 
   // Manual grouping bypasses the content test entirely.
@@ -30,11 +30,10 @@ ClassManager::Decision ClassManager::group(
   Decision decision;
   const auto order = candidates(parts.server_part, parts.hint_part);
   for (const ClassId id : order) {
-    const util::BytesView base = base_of(id);
-    if (base.empty()) continue;
+    const delta::Encoder* encoder = encoder_of(id);
+    if (encoder == nullptr || encoder->base().empty()) continue;
     ++decision.tries;
-    const std::size_t estimate =
-        delta::estimate_delta_size(base, doc, config_.light_params);
+    const std::size_t estimate = encoder->encode_size(doc);
     if (static_cast<double>(estimate) <=
         config_.match_threshold * static_cast<double>(doc.size())) {
       decision.id = id;

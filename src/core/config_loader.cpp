@@ -117,6 +117,14 @@ LoadedConfig load_config(std::istream& in) {
         server.anonymizer.min_common = parse_u64(value, line_no);
       } else if (key == "anonymizer-n") {
         server.anonymizer.required_docs = parse_u64(value, line_no);
+      } else if (key == "delta-key-len") {
+        server.transmit_params.key_len = parse_u64(value, line_no);
+      } else if (key == "delta-index-step") {
+        server.transmit_params.index_step = parse_u64(value, line_no);
+      } else if (key == "delta-max-chain") {
+        server.transmit_params.max_chain = parse_u64(value, line_no);
+      } else if (key == "delta-min-match") {
+        server.transmit_params.min_match = parse_u64(value, line_no);
       } else if (key == "basic-rebase-ratio") {
         server.basic_rebase_ratio = parse_double(value, line_no);
       } else if (key == "basic-rebase-after") {
@@ -158,6 +166,21 @@ LoadedConfig load_config(std::istream& in) {
   if (out.server.anonymizer.min_common > out.server.anonymizer.required_docs) {
     throw ConfigError("config: anonymizer-m must be <= anonymizer-n");
   }
+  // Every delta parameterization the server will run with must be usable —
+  // a bad deployment config fails here with a typed error, not inside an
+  // encode precondition check mid-request.
+  const std::pair<const char*, const delta::DeltaParams*> param_sets[] = {
+      {"transmit (delta-*)", &out.server.transmit_params},
+      {"anonymizer", &out.server.anonymizer.delta_params},
+      {"grouping (light)", &out.server.grouping.light_params},
+      {"selector (score)", &out.server.selector.score_params},
+  };
+  for (const auto& [label, params] : param_sets) {
+    if (const auto problem = delta::validate(*params)) {
+      throw ConfigError(std::string("config: ") + label +
+                        " delta params invalid: " + *problem);
+    }
+  }
   return out;
 }
 
@@ -181,6 +204,13 @@ rebase-timeout-s = 120     # minimum seconds between group-rebases
 anonymizer-m     = 2       # M: chunk kept if common with >= M documents
 anonymizer-n     = 5       # N: documents observed before publication
 base-store       = memory  # or disk:/var/lib/cbde/bases
+
+# Transmission delta tuning (defaults are the Vdelta full parameterization;
+# ranges are checked at load time).
+delta-key-len    = 4       # match key width in bytes
+delta-index-step = 1       # index every step-th base position
+delta-max-chain  = 32      # candidate matches probed per position
+delta-min-match  = 32      # shortest match worth a COPY
 
 [site www.foo.com]
 # Table I row 1 organization: /laptops?id=100

@@ -23,22 +23,30 @@ DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
   return *it->second;
 }
 
+std::shared_ptr<const delta::Encoder> DeltaServer::make_working_encoder(
+    util::BytesView doc) const {
+  return std::make_shared<const delta::Encoder>(util::Bytes(doc.begin(), doc.end()),
+                                                config_.grouping.light_params);
+}
+
 void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime now) {
   if (!config_.anonymize) {
     // No privacy requirement: publish the working base immediately.
-    cls.published_base = cls.working_base;
+    cls.transmit_encoder = std::make_shared<const delta::Encoder>(
+        cls.working_encoder->base(), config_.transmit_params);
     ++cls.published_version;
     record_publication(id, cls);
     cls.last_group_rebase = now;
     return;
   }
-  cls.anonymizer.begin(cls.working_base, cls.working_owner);
+  cls.anonymizer.begin(cls.working_encoder->base(), cls.working_owner);
 }
 
 void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
                                              util::SimTime now) {
   if (!cls.anonymizer.ready()) return;
-  cls.published_base = cls.anonymizer.finalize();
+  cls.transmit_encoder = std::make_shared<const delta::Encoder>(
+      cls.anonymizer.finalize(), config_.transmit_params);
   ++cls.published_version;
   record_publication(id, cls);
   cls.last_group_rebase = now;
@@ -46,7 +54,7 @@ void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
 }
 
 void DeltaServer::record_publication(ClassId id, ClassState& cls) {
-  store_->put(id, cls.published_version, util::as_view(cls.published_base));
+  store_->put(id, cls.published_version, util::as_view(cls.transmit_encoder->base()));
   cls.retained_versions.push_back(cls.published_version);
   while (cls.retained_versions.size() > config_.published_history) {
     store_->erase(id, cls.retained_versions.front());
@@ -58,55 +66,75 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
                                   util::BytesView doc, util::SimTime now) {
   ServedResponse out;
   out.doc_size = doc.size();
-  ++metrics_.requests;
-  metrics_.direct_bytes += doc.size();
 
-  // Classless-storage bookkeeping: basic delta-encoding would store one
-  // base-file per (user, URL).
+  // Phase 1 — locked: bookkeeping, grouping, selector/anonymizer feeding,
+  // publication progress; ends by snapshotting the class's published-base
+  // encoder so the expensive encode can run outside the lock.
+  ClassState* cls_ptr = nullptr;
+  std::shared_ptr<const delta::Encoder> transmit;
+  std::uint32_t snap_version = 0;
   {
-    const std::uint64_t key = util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
-    auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
-    const std::size_t previous = inserted ? 0 : it->second;
-    classless_storage_bytes_ += doc.size();
-    classless_storage_bytes_ -= previous;
-    it->second = doc.size();
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++metrics_.requests;
+    metrics_.direct_bytes += doc.size();
+
+    // Classless-storage bookkeeping: basic delta-encoding would store one
+    // base-file per (user, URL).
+    {
+      const std::uint64_t key =
+          util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
+      auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
+      const std::size_t previous = inserted ? 0 : it->second;
+      classless_storage_bytes_ += doc.size();
+      classless_storage_bytes_ -= previous;
+      it->second = doc.size();
+    }
+
+    // 1. Partition the URL and group the request into a class. Probes run
+    // against the cached per-class light encoders — no index is built here.
+    const http::UrlParts parts = rules_.partition(url);
+    const auto decision =
+        classes_.group(parts, doc, [this](ClassId id) -> const delta::Encoder* {
+          const auto it = states_.find(id);
+          return it == states_.end() ? nullptr : it->second->working_encoder.get();
+        });
+    out.class_id = decision.id;
+    out.class_created = decision.created;
+    out.grouping_tries = decision.tries;
+
+    ClassState& cls = state_of(decision.id);
+    cls_ptr = &cls;
+    const bool creating = decision.created || cls.working_encoder == nullptr;
+    if (creating) {
+      cls.working_encoder = make_working_encoder(doc);
+      cls.working_owner = user_id;
+      cls.selector.admit(doc);
+      start_publication(decision.id, cls, now);
+    } else {
+      // 2. Feed the selector and any in-progress anonymization.
+      cls.selector.observe(doc);
+      cls.anonymizer.observe(user_id, doc);
+      maybe_complete_publication(decision.id, cls, now);
+    }
+
+    // 3. Decide the response. The request that creates a class is always
+    // served directly: its document just became the (un-anonymized) base.
+    if (cls.published_version > 0 && !creating) {
+      transmit = cls.transmit_encoder;
+      snap_version = cls.published_version;
+    }
   }
 
-  // 1. Partition the URL and group the request into a class.
-  const http::UrlParts parts = rules_.partition(url);
-  const auto decision = classes_.group(parts, doc, [this](ClassId id) -> util::BytesView {
-    const auto it = states_.find(id);
-    if (it == states_.end()) return {};
-    return util::as_view(it->second->working_base);
-  });
-  out.class_id = decision.id;
-  out.class_created = decision.created;
-  out.grouping_tries = decision.tries;
-
-  ClassState& cls = state_of(decision.id);
-  const bool creating = decision.created || cls.working_base.empty();
-  if (creating) {
-    cls.working_base.assign(doc.begin(), doc.end());
-    cls.working_owner = user_id;
-    cls.selector.admit(doc);
-    start_publication(decision.id, cls, now);
-  } else {
-    // 2. Feed the selector and any in-progress anonymization.
-    cls.selector.observe(doc);
-    cls.anonymizer.observe(user_id, doc);
-    maybe_complete_publication(decision.id, cls, now);
-  }
-
-  // 3. Decide the response. The request that creates a class is always
-  // served directly: its document just became the (un-anonymized) base.
-  bool serve_delta = cls.published_version > 0 && !creating;
+  // Phase 2 — unlocked: delta encode + compression against the snapshot.
+  // A concurrent rebase may replace the class's encoder meanwhile; the
+  // shared_ptr keeps this one alive and the response reports snap_version.
+  bool serve_delta = transmit != nullptr;
   util::Bytes delta_wire;
   bool large_delta = false;
   if (serve_delta) {
-    auto encoded =
-        delta::encode(util::as_view(cls.published_base), doc, config_.transmit_params);
+    auto encoded = transmit->encode(doc);
     out.delta_size = encoded.delta.size();
-    out.cpu_us += config_.cpu.cost(cls.published_base.size(), doc.size(),
+    out.cpu_us += config_.cpu.cost(transmit->base().size(), doc.size(),
                                    encoded.delta.size());
     large_delta = static_cast<double>(out.delta_size) >
                   config_.basic_rebase_ratio * static_cast<double>(doc.size());
@@ -120,79 +148,87 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     out.cpu_us += config_.cpu.fixed_us;
   }
 
-  if (serve_delta) {
-    out.mode = ServedResponse::Mode::kDelta;
-    out.base_version = cls.published_version;
-    const auto key = std::make_pair(user_id, decision.id);
-    const auto it = client_versions_.find(key);
-    if (it == client_versions_.end() || it->second != cls.published_version) {
-      out.base_needed = true;
-      out.base_size = cls.published_base.size();
-      client_versions_[key] = cls.published_version;
+  // Phase 3 — locked: commit the response, then the rebase decisions.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ClassState& cls = *cls_ptr;
+    if (serve_delta) {
+      out.mode = ServedResponse::Mode::kDelta;
+      out.base_version = snap_version;
+      const auto key = std::make_pair(user_id, out.class_id);
+      const auto it = client_versions_.find(key);
+      if (it == client_versions_.end() || it->second != snap_version) {
+        out.base_needed = true;
+        out.base_size = transmit->base().size();
+        client_versions_[key] = snap_version;
+      }
+      out.wire_body = std::move(delta_wire);
+      out.wire_compressed = config_.compress_deltas;
+      ++metrics_.delta_responses;
+    } else {
+      out.mode = ServedResponse::Mode::kDirect;
+      out.wire_body.assign(doc.begin(), doc.end());
+      ++metrics_.direct_responses;
     }
-    out.wire_body = std::move(delta_wire);
-    out.wire_compressed = config_.compress_deltas;
-    ++metrics_.delta_responses;
-  } else {
-    out.mode = ServedResponse::Mode::kDirect;
-    out.wire_body.assign(doc.begin(), doc.end());
-    ++metrics_.direct_responses;
-  }
-  metrics_.wire_bytes += out.wire_body.size();
-  if (out.base_needed) metrics_.base_wire_bytes += out.base_size;
-  metrics_.cpu_us_total += out.cpu_us;
+    metrics_.wire_bytes += out.wire_body.size();
+    if (out.base_needed) metrics_.base_wire_bytes += out.base_size;
+    metrics_.cpu_us_total += out.cpu_us;
 
-  // 4. Basic-rebase: consecutive relatively-large deltas flush the class.
-  if (cls.published_version > 0) {
-    cls.consecutive_large_deltas = large_delta ? cls.consecutive_large_deltas + 1 : 0;
-    if (cls.consecutive_large_deltas >= config_.basic_rebase_after) {
-      cls.consecutive_large_deltas = 0;
-      cls.working_base.assign(doc.begin(), doc.end());
-      cls.working_owner = user_id;
-      cls.selector.flush();  // "all K stored documents are flushed"
-      cls.selector.admit(doc);
-      start_publication(decision.id, cls, now);
-      out.basic_rebase = true;
-      ++metrics_.basic_rebases;
+    // 4. Basic-rebase: consecutive relatively-large deltas flush the class.
+    if (cls.published_version > 0) {
+      cls.consecutive_large_deltas = large_delta ? cls.consecutive_large_deltas + 1 : 0;
+      if (cls.consecutive_large_deltas >= config_.basic_rebase_after) {
+        cls.consecutive_large_deltas = 0;
+        cls.working_encoder = make_working_encoder(doc);
+        cls.working_owner = user_id;
+        cls.selector.flush();  // "all K stored documents are flushed"
+        cls.selector.admit(doc);
+        start_publication(out.class_id, cls, now);
+        out.basic_rebase = true;
+        ++metrics_.basic_rebases;
+      }
     }
-  }
 
-  // 5. Group-rebase: a better candidate exists and the timeout has expired.
-  if (!out.basic_rebase && !cls.anonymizer.in_progress() &&
-      now - cls.last_group_rebase >= config_.rebase_timeout) {
-    if (const util::Bytes* best = cls.selector.best();
-        best != nullptr && *best != cls.working_base) {
-      cls.working_base = *best;
-      cls.working_owner = user_id;  // conservatively exclude the requester
-      start_publication(decision.id, cls, now);
-      out.group_rebase = true;
-      ++metrics_.group_rebases;
-      // Avoid immediate re-trigger while the new base awaits anonymization.
-      cls.last_group_rebase = now;
+    // 5. Group-rebase: a better candidate exists and the timeout has expired.
+    if (!out.basic_rebase && !cls.anonymizer.in_progress() &&
+        now - cls.last_group_rebase >= config_.rebase_timeout) {
+      if (const util::Bytes* best = cls.selector.best();
+          best != nullptr && *best != cls.working_encoder->base()) {
+        cls.working_encoder = make_working_encoder(util::as_view(*best));
+        cls.working_owner = user_id;  // conservatively exclude the requester
+        start_publication(out.class_id, cls, now);
+        out.group_rebase = true;
+        ++metrics_.group_rebases;
+        // Avoid immediate re-trigger while the new base awaits anonymization.
+        cls.last_group_rebase = now;
+      }
     }
   }
   return out;
 }
 
 std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = states_.find(id);
   if (it == states_.end() || it->second->published_version == 0) return std::nullopt;
   return PublishedBase{it->second->published_version,
-                       util::as_view(it->second->published_base)};
+                       util::as_view(it->second->transmit_encoder->base())};
 }
 
 std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
                                                    std::uint32_t version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   // Hot path: the current version is cached in memory.
   const auto it = states_.find(id);
   if (it != states_.end() && it->second->published_version == version &&
       version != 0) {
-    return it->second->published_base;
+    return it->second->transmit_encoder->base();
   }
   return store_->get(id, version);
 }
 
 std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<ClassSummary> out;
   out.reserve(states_.size());
   for (const auto& [id, cls] : states_) {
@@ -200,8 +236,10 @@ std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
     summary.id = id;
     summary.members = classes_.members_of(id);
     summary.published_version = cls->published_version;
-    summary.published_size = cls->published_base.size();
-    summary.working_size = cls->working_base.size();
+    summary.published_size =
+        cls->transmit_encoder ? cls->transmit_encoder->base().size() : 0;
+    summary.working_size =
+        cls->working_encoder ? cls->working_encoder->base().size() : 0;
     summary.selector_samples = cls->selector.stored();
     summary.anonymizing = cls->anonymizer.in_progress();
     out.push_back(summary);
@@ -210,11 +248,12 @@ std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
 }
 
 std::size_t DeltaServer::storage_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   // Retained published versions live in the base store (the in-memory copy
   // of each current base is a cache, not extra footprint).
   std::size_t total = store_->bytes_stored();
   for (const auto& [id, cls] : states_) {
-    total += cls->working_base.size();
+    total += cls->working_encoder ? cls->working_encoder->base().size() : 0;
     total += cls->anonymizer.in_progress() ? cls->anonymizer.pending_base().size() : 0;
     // Selector samples are part of the server-side footprint too.
     total += cls->selector.stored_bytes();

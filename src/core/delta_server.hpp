@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -107,6 +108,14 @@ class DeltaServer {
 
   /// Process one request: `doc` is the current snapshot obtained from the
   /// web-server. Advances all class machinery and returns the response.
+  ///
+  /// Thread-safe: concurrent calls are allowed (DeltaWorkerPool drives this
+  /// from several threads). Internally the request runs in three phases —
+  /// locked bookkeeping/grouping, *unlocked* delta encode + compression
+  /// against a shared_ptr snapshot of the class's published-base encoder,
+  /// then locked commit (metrics, client versions, rebase decisions). The
+  /// snapshot means a concurrent rebase can never invalidate an in-flight
+  /// encode; the delta is simply against the version the response reports.
   ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
                        util::SimTime now);
 
@@ -151,10 +160,16 @@ class DeltaServer {
 
  private:
   struct ClassState {
-    util::Bytes working_base;  ///< grouping/selection reference (raw)
+    /// Working base (raw) + its prebuilt light index: the grouping and
+    /// rebase-comparison reference. Rebuilt on create and on either rebase.
+    std::shared_ptr<const delta::Encoder> working_encoder;
     std::uint64_t working_owner = 0;
-    util::Bytes published_base;  ///< what clients hold (anonymized); also in
-                                 ///< the base store, kept here as a hot copy
+    /// Published (anonymized) base + its prebuilt transmit index: what
+    /// per-request deltas are computed against. Held shared so serve() can
+    /// encode outside the lock against a snapshot that a concurrent rebase
+    /// cannot invalidate. The bytes also live in the base store; this is
+    /// the hot copy.
+    std::shared_ptr<const delta::Encoder> transmit_encoder;
     std::uint32_t published_version = 0;
     /// Versions currently retained in the base store, oldest first.
     std::vector<std::uint32_t> retained_versions;
@@ -168,6 +183,7 @@ class DeltaServer {
   };
 
   ClassState& state_of(ClassId id);
+  std::shared_ptr<const delta::Encoder> make_working_encoder(util::BytesView doc) const;
   void start_publication(ClassId id, ClassState& cls, util::SimTime now);
   void maybe_complete_publication(ClassId id, ClassState& cls, util::SimTime now);
   void record_publication(ClassId id, ClassState& cls);
@@ -185,6 +201,10 @@ class DeltaServer {
   std::size_t classless_storage_bytes_ = 0;
   util::Rng rng_;
   PipelineMetrics metrics_;
+  /// Guards every member above except config_ and rules_ (immutable after
+  /// construction). ClassState objects are owned by unique_ptr map values
+  /// and never erased, so a ClassState* stays valid across an unlock.
+  mutable std::mutex mu_;
 };
 
 }  // namespace cbde::core

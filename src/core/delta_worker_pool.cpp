@@ -1,0 +1,75 @@
+#include "core/delta_worker_pool.hpp"
+
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace cbde::core {
+
+DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
+                                 std::size_t queue_capacity)
+    : server_(server), capacity_(queue_capacity) {
+  CBDE_EXPECT(workers >= 1);
+  CBDE_EXPECT(queue_capacity >= 1);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DeltaWorkerPool::~DeltaWorkerPool() { shutdown(); }
+
+std::future<ServedResponse> DeltaWorkerPool::submit(std::uint64_t user_id,
+                                                    http::Url url, util::Bytes doc,
+                                                    util::SimTime now) {
+  Job job;
+  job.user_id = user_id;
+  job.url = std::move(url);
+  job.doc = std::move(doc);
+  job.now = now;
+  std::future<ServedResponse> result = job.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+    if (stopping_) throw std::runtime_error("DeltaWorkerPool: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+  return result;
+}
+
+void DeltaWorkerPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      job.promise.set_value(
+          server_.serve(job.user_id, job.url, util::as_view(job.doc), job.now));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void DeltaWorkerPool::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace cbde::core

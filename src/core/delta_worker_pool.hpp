@@ -1,0 +1,74 @@
+// Fixed-size worker pool driving DeltaServer::serve() concurrently.
+//
+// The paper's capacity experiment (§VI-C) measures the delta-server as a
+// CPU-bound stage; on a multi-core host the natural deployment is a small
+// pool of encode workers behind the accept loop. serve() is internally
+// synchronized (three-phase: locked bookkeeping, unlocked encode+compress
+// against an encoder snapshot, locked commit), so the pool needs no
+// per-class knowledge — it just bounds concurrency and queue depth:
+//   * `workers` threads pop submitted requests in FIFO order;
+//   * the queue holds at most `queue_capacity` pending requests; submit()
+//     blocks the producer when full (backpressure instead of unbounded
+//     memory growth);
+//   * each request's ServedResponse (or exception) is delivered through a
+//     std::future.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/delta_server.hpp"
+
+namespace cbde::core {
+
+class DeltaWorkerPool {
+ public:
+  /// `server` must outlive the pool. `workers` >= 1; `queue_capacity` >= 1.
+  DeltaWorkerPool(DeltaServer& server, std::size_t workers,
+                  std::size_t queue_capacity = 128);
+
+  /// Joins the workers; pending requests are still served first.
+  ~DeltaWorkerPool();
+
+  DeltaWorkerPool(const DeltaWorkerPool&) = delete;
+  DeltaWorkerPool& operator=(const DeltaWorkerPool&) = delete;
+
+  /// Enqueue one request. The document is copied into the job (the caller's
+  /// buffer need not outlive the call). Blocks while the queue is full;
+  /// throws std::runtime_error after shutdown().
+  std::future<ServedResponse> submit(std::uint64_t user_id, http::Url url,
+                                     util::Bytes doc, util::SimTime now);
+
+  /// Stop accepting work, serve what is queued, join the threads.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  struct Job {
+    std::uint64_t user_id = 0;
+    http::Url url;
+    util::Bytes doc;
+    util::SimTime now = 0;
+    std::promise<ServedResponse> promise;
+  };
+
+  void worker_loop();
+
+  DeltaServer& server_;
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cbde::core

@@ -15,7 +15,7 @@ EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& reques
   EventPipelineResult result;
 
   netsim::EventQueue events;
-  netsim::FifoResource cpu;
+  netsim::PooledResource cpu(config_.cpu_workers);
   netsim::BitPipe uplink(config_.uplink_bps, config_.uplink_propagation);
   // Each client has a private last-mile link.
   std::map<std::uint64_t, netsim::BitPipe> client_links;
@@ -77,10 +77,13 @@ EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& reques
 
   result.uplink_bytes = uplink.bytes_carried();
   result.uplink_utilization = uplink.utilization(result.horizon);
+  // Utilization of the whole pool: busy time over horizon * workers.
   result.cpu_utilization =
-      result.horizon <= 0 ? 0.0
-                          : static_cast<double>(cpu.busy_time()) /
-                                static_cast<double>(result.horizon);
+      result.horizon <= 0
+          ? 0.0
+          : static_cast<double>(cpu.busy_time()) /
+                (static_cast<double>(result.horizon) *
+                 static_cast<double>(cpu.servers()));
   result.goodput_rps = result.horizon <= 0
                            ? 0.0
                            : static_cast<double>(result.completed) /

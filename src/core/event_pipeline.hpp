@@ -23,6 +23,9 @@ struct EventPipelineConfig {
   bool use_cbde = true;
   DeltaServerConfig server;
   server::CpuModel origin_cpu;
+  /// Parallel CPU workers at the server (the DeltaWorkerPool analogue in
+  /// the simulation): requests queue FIFO for the earliest-free worker.
+  std::size_t cpu_workers = 1;
   double uplink_bps = 10e6;  ///< the web-site's shared access link
   util::SimTime uplink_propagation = 10 * util::kMillisecond;
   /// Clients default to broadband so the *shared uplink* is the contested

@@ -1,7 +1,8 @@
 #include "delta/delta.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <bit>
+#include <cstring>
 
 #include "util/expect.hpp"
 #include "util/hash.hpp"
@@ -13,22 +14,70 @@ namespace {
 constexpr std::size_t kHashBits = 17;
 constexpr std::size_t kHashSize = 1u << kHashBits;
 
-inline std::uint32_t chunk_hash(const std::uint8_t* p, std::size_t key_len) {
-  return static_cast<std::uint32_t>(util::fnv1a64(p, key_len) >> (64 - kHashBits));
+// Skip acceleration (zstd-style): while no acceptable match is found the
+// scan step grows with the miss streak, so incompressible runs are crossed
+// in O(n / step) probes instead of probing every byte. Missed match starts
+// are mostly recovered by backward extension. The step is capped so a long
+// noise prefix cannot make the scanner leap over a matchable tail.
+constexpr std::size_t kSkipStreakLog = 6;  // step grows every 64 misses
+constexpr std::size_t kMaxSkip = 64;
+
+/// Load up to 8 key-prefix bytes for hashing. The caller guarantees
+/// `key_len` readable bytes at `p`; for keys longer than 8 the hash covers
+/// the first 8 (the hash is only a chain filter — matches are verified
+/// byte-for-byte, so a prefix hash merely admits more candidates).
+inline std::uint64_t load_key_prefix(const std::uint8_t* p, std::size_t key_len) {
+  if (key_len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+  if (key_len >= 4) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  }
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
 }
 
+/// One multiply + shift over a word load — replaces the byte-serial FNV
+/// pass that previously ran at every indexed and scanned position.
+inline std::uint32_t chunk_hash(const std::uint8_t* p, std::size_t key_len) {
+  return static_cast<std::uint32_t>(
+      (load_key_prefix(p, key_len) * 0x9E3779B97F4A7C15ull) >> (64 - kHashBits));
+}
+
+/// Length of the common prefix of a and b, 8 bytes per step with a
+/// count-trailing-zeros tail instead of a byte-wise loop.
 inline std::size_t forward_match(const std::uint8_t* a, const std::uint8_t* b,
                                  std::size_t limit) {
   std::size_t n = 0;
+  while (n + 8 <= limit) {
+    std::uint64_t x;
+    std::uint64_t y;
+    std::memcpy(&x, a + n, 8);
+    std::memcpy(&y, b + n, 8);
+    if (const std::uint64_t diff = x ^ y; diff != 0) {
+      if constexpr (std::endian::native == std::endian::little) {
+        return n + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      } else {
+        return n + (static_cast<std::size_t>(std::countl_zero(diff)) >> 3);
+      }
+    }
+    n += 8;
+  }
   while (n < limit && a[n] == b[n]) ++n;
   return n;
 }
 
 /// Hash-chain index over base positions (every index_step-th position).
+/// Immutable once built; safe to share across threads.
 class BaseIndex {
  public:
   BaseIndex(util::BytesView base, std::size_t key_len, std::size_t step)
-      : base_(base), key_len_(key_len), step_(step), head_(kHashSize, 0) {
+      : key_len_(key_len), step_(step), head_(kHashSize, 0) {
     if (base.size() < key_len) return;
     const std::size_t slots = (base.size() - key_len) / step + 1;
     prev_.assign(slots, 0);
@@ -47,7 +96,7 @@ class BaseIndex {
   /// max_chain of them. `fn(pos)` returns false to stop early.
   template <typename Fn>
   void for_candidates(const std::uint8_t* p, std::size_t max_chain, Fn&& fn) const {
-    if (head_.empty()) return;
+    if (prev_.empty()) return;
     std::uint32_t slot = head_[chunk_hash(p, key_len_)];
     while (slot != 0 && max_chain-- > 0) {
       if (!fn((slot - 1) * step_)) return;
@@ -56,12 +105,27 @@ class BaseIndex {
   }
 
  private:
-  util::BytesView base_;
   std::size_t key_len_;
   std::size_t step_;
   std::vector<std::uint32_t> head_;
   std::vector<std::uint32_t> prev_;
 };
+
+/// Reusable per-thread scratch for the self-reference target index. The
+/// 512 KB head table is validated per encode with an epoch stamp instead of
+/// being re-zeroed, so an encode that never probes the target index (the
+/// common template-heavy path, and every light estimate) pays nothing.
+struct SelfScratch {
+  std::vector<std::uint32_t> head;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> prev;
+  std::uint32_t epoch = 0;
+};
+
+SelfScratch& self_scratch() {
+  thread_local SelfScratch scratch;
+  return scratch;
+}
 
 void put_u32le(util::Bytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -90,63 +154,92 @@ struct Match {
 
 /// Incrementally built hash-chain index over the target's encoded prefix
 /// (Vdelta indexes the target as it goes; VCDIFF calls this the target
-/// window of the superstring).
+/// window of the superstring). Backed by the thread-local SelfScratch.
 class TargetIndex {
  public:
   TargetIndex(util::BytesView target, std::size_t key_len)
-      : target_(target), key_len_(key_len), head_(kHashSize, 0) {
-    if (target.size() >= key_len) prev_.assign(target.size() - key_len + 1, 0);
+      : target_(target), key_len_(key_len), scratch_(self_scratch()) {
+    if (target.size() >= key_len) positions_ = target.size() - key_len + 1;
+    if (positions_ == 0) return;
+    if (scratch_.head.empty()) {
+      scratch_.head.assign(kHashSize, 0);
+      scratch_.stamp.assign(kHashSize, 0);
+    }
+    if (++scratch_.epoch == 0) {  // stamp wrap: invalidate everything once
+      std::fill(scratch_.stamp.begin(), scratch_.stamp.end(), 0u);
+      scratch_.epoch = 1;
+    }
+    if (scratch_.prev.size() < positions_) scratch_.prev.resize(positions_);
   }
 
   /// Index all positions < `pos` not yet indexed.
   void index_up_to(std::size_t pos) {
-    const std::size_t limit = std::min(pos, prev_.size());
+    const std::size_t limit = std::min(pos, positions_);
     for (; next_ < limit; ++next_) {
       const std::uint32_t h = chunk_hash(target_.data() + next_, key_len_);
-      prev_[next_] = head_[h];
-      head_[h] = static_cast<std::uint32_t>(next_ + 1);
+      scratch_.prev[next_] = slot_at(h);
+      scratch_.head[h] = static_cast<std::uint32_t>(next_ + 1);
+      scratch_.stamp[h] = scratch_.epoch;
     }
   }
 
   template <typename Fn>
   void for_candidates(const std::uint8_t* p, std::size_t max_chain, Fn&& fn) const {
-    if (prev_.empty()) return;
-    std::uint32_t slot = head_[chunk_hash(p, key_len_)];
+    if (positions_ == 0) return;
+    std::uint32_t slot = slot_at(chunk_hash(p, key_len_));
     while (slot != 0 && max_chain-- > 0) {
       if (!fn(static_cast<std::size_t>(slot - 1))) return;
-      slot = prev_[slot - 1];
+      slot = scratch_.prev[slot - 1];
     }
   }
 
  private:
+  std::uint32_t slot_at(std::uint32_t h) const {
+    return scratch_.stamp[h] == scratch_.epoch ? scratch_.head[h] : 0;
+  }
+
   util::BytesView target_;
   std::size_t key_len_;
+  std::size_t positions_ = 0;
   std::size_t next_ = 0;  // first unindexed position
-  std::vector<std::uint32_t> head_;
-  std::vector<std::uint32_t> prev_;
+  SelfScratch& scratch_;
 };
 
-}  // namespace
+/// Materializing sink: writes real instruction bytes.
+struct WireSink {
+  util::Bytes& out;
+  util::BytesView target;
 
-EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaParams& params) {
-  CBDE_EXPECT(params.key_len >= 2 && params.key_len <= 64);
-  CBDE_EXPECT(params.index_step >= 1);
-  CBDE_EXPECT(params.max_chain >= 1);
-  CBDE_EXPECT(params.min_match >= params.key_len);
+  void copy(std::size_t wire_addr, std::size_t len) {
+    util::put_uvarint(out, (len << 1) | 1);
+    util::put_uvarint(out, wire_addr);
+  }
+  void add(std::size_t start, std::size_t len) {
+    util::put_uvarint(out, len << 1);
+    util::append(out, target.subspan(start, len));
+  }
+};
 
-  EncodeResult result;
-  result.chunk_used.assign((base.size() + kAnonChunkSize - 1) / kAnonChunkSize, false);
+/// Counting sink: accumulates the exact wire size without touching memory.
+struct SizeSink {
+  std::size_t bytes = 0;
 
-  util::Bytes& out = result.delta;
-  util::append(out, std::string_view("CBD1"));
-  util::put_uvarint(out, base.size());
-  util::put_uvarint(out, target.size());
-  put_u32le(out, util::crc32(base));
-  put_u32le(out, util::crc32(target));
+  void copy(std::size_t wire_addr, std::size_t len) {
+    bytes += util::uvarint_size((len << 1) | 1) + util::uvarint_size(wire_addr);
+  }
+  void add(std::size_t /*start*/, std::size_t len) {
+    bytes += util::uvarint_size(len << 1) + len;
+  }
+};
 
-  const BaseIndex index(base, params.key_len, params.index_step);
-  // The target index is only materialized when self-reference is on (its
-  // hash table is non-trivial to zero for every light estimate otherwise).
+/// The matcher: one pass over the target emitting COPY/ADD instructions
+/// through `sink`. Match selection is identical for every sink, so the
+/// counting sink reports exactly the bytes the wire sink would write.
+template <typename Sink>
+void match_and_emit(const BaseIndex& index, util::BytesView base, util::BytesView target,
+                    const DeltaParams& params, std::vector<bool>* chunk_used,
+                    std::size_t& copy_bytes, std::size_t& add_bytes, Sink& sink) {
+  // The target index is only materialized when self-reference is on.
   std::optional<TargetIndex> tindex;
   if (params.self_reference) tindex.emplace(target, params.key_len);
 
@@ -154,20 +247,24 @@ EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaPar
   auto flush_literals = [&](std::size_t end) {
     if (end > lit_start) {
       const std::size_t len = end - lit_start;
-      util::put_uvarint(out, len << 1);  // ADD
-      util::append(out, target.subspan(lit_start, len));
-      result.add_bytes += len;
+      sink.add(lit_start, len);
+      add_bytes += len;
     }
   };
 
+  const std::uint8_t* const tdata = target.data();
   std::size_t pos = 0;
+  std::size_t miss_streak = 0;
   while (pos + params.key_len <= target.size()) {
     Match best;
     const std::size_t fwd_limit = target.size() - pos;
-    index.for_candidates(target.data() + pos, params.max_chain, [&](std::size_t bpos) {
+    index.for_candidates(tdata + pos, params.max_chain, [&](std::size_t bpos) {
       const std::size_t limit = std::min(fwd_limit, base.size() - bpos);
-      if (limit < params.key_len) return true;
-      const std::size_t len = forward_match(base.data() + bpos, target.data() + pos, limit);
+      if (limit <= best.len || limit < params.key_len) return true;
+      // A candidate can only beat the incumbent if it also matches at the
+      // incumbent's length — one byte-compare rejects most of the chain.
+      if (best.len != 0 && base[bpos + best.len] != tdata[pos + best.len]) return true;
+      const std::size_t len = forward_match(base.data() + bpos, tdata + pos, limit);
       if (len >= params.key_len && len > best.len) {
         best = Match{bpos, len, 0, false};
         if (len == fwd_limit) return false;  // cannot do better
@@ -185,9 +282,8 @@ EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaPar
       // almost always the best self-reference, and this path runs at every
       // position the base fails to cover.
       const std::size_t self_chain = std::min<std::size_t>(params.max_chain, 4);
-      tindex->for_candidates(target.data() + pos, self_chain, [&](std::size_t tpos) {
-        const std::size_t len =
-            forward_match(target.data() + tpos, target.data() + pos, fwd_limit);
+      tindex->for_candidates(tdata + pos, self_chain, [&](std::size_t tpos) {
+        const std::size_t len = forward_match(tdata + tpos, tdata + pos, fwd_limit);
         if (len >= params.key_len && len > best.len) {
           best = Match{tpos, len, 0, true};
           if (len == fwd_limit) return false;
@@ -197,46 +293,149 @@ EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaPar
     }
 
     if (best.len == 0) {
-      ++pos;
+      pos += std::min<std::size_t>(1 + (miss_streak++ >> kSkipStreakLog), kMaxSkip);
       continue;
     }
     if (params.backward_extend) {
       std::size_t back = 0;
       if (best.in_target) {
         while (pos - back > lit_start && best.base_pos > back &&
-               target[best.base_pos - back - 1] == target[pos - back - 1]) {
+               tdata[best.base_pos - back - 1] == tdata[pos - back - 1]) {
           ++back;
         }
       } else {
         while (pos - back > lit_start && best.base_pos > back &&
-               base[best.base_pos - back - 1] == target[pos - back - 1]) {
+               base[best.base_pos - back - 1] == tdata[pos - back - 1]) {
           ++back;
         }
       }
       best.back = back;
     }
     if (best.len + best.back < params.min_match) {
-      ++pos;
+      pos += std::min<std::size_t>(1 + (miss_streak++ >> kSkipStreakLog), kMaxSkip);
       continue;
     }
+    miss_streak = 0;
     const std::size_t copy_addr = best.base_pos - best.back;
     const std::size_t copy_len = best.len + best.back;
     flush_literals(pos - best.back);
-    util::put_uvarint(out, (copy_len << 1) | 1);  // COPY
     // Superstring addressing: target-prefix copies live above base_size.
-    util::put_uvarint(out, best.in_target ? base.size() + copy_addr : copy_addr);
-    result.copy_bytes += copy_len;
-    if (!best.in_target) mark_chunks(result.chunk_used, copy_addr, copy_len);
+    sink.copy(best.in_target ? base.size() + copy_addr : copy_addr, copy_len);
+    copy_bytes += copy_len;
+    if (!best.in_target && chunk_used != nullptr) {
+      mark_chunks(*chunk_used, copy_addr, copy_len);
+    }
     pos += best.len;
     lit_start = pos;
   }
   flush_literals(target.size());
+}
+
+void check_params(const DeltaParams& params) {
+  if (const auto err = validate(params)) {
+    throw std::invalid_argument("delta params: " + *err);
+  }
+}
+
+EncodeResult encode_with(const BaseIndex& index, util::BytesView base,
+                         std::uint32_t base_crc, util::BytesView target,
+                         const DeltaParams& params) {
+  EncodeResult result;
+  result.chunk_used.assign((base.size() + kAnonChunkSize - 1) / kAnonChunkSize, false);
+
+  util::Bytes& out = result.delta;
+  util::append(out, std::string_view("CBD1"));
+  util::put_uvarint(out, base.size());
+  util::put_uvarint(out, target.size());
+  put_u32le(out, base_crc);
+  put_u32le(out, util::crc32(target));
+
+  WireSink sink{out, target};
+  match_and_emit(index, base, target, params, &result.chunk_used, result.copy_bytes,
+                 result.add_bytes, sink);
   return result;
+}
+
+std::size_t encode_size_with(const BaseIndex& index, util::BytesView base,
+                             util::BytesView target, const DeltaParams& params) {
+  SizeSink sink;
+  std::size_t copy_bytes = 0;
+  std::size_t add_bytes = 0;
+  match_and_emit(index, base, target, params, nullptr, copy_bytes, add_bytes, sink);
+  // Header: magic + size varints + the two crc32 words (never computed —
+  // their wire size is fixed).
+  return 4 + util::uvarint_size(base.size()) + util::uvarint_size(target.size()) + 8 +
+         sink.bytes;
+}
+
+}  // namespace
+
+std::optional<std::string> validate(const DeltaParams& params) {
+  if (params.key_len < 2 || params.key_len > 64) {
+    return "key_len must be in [2, 64]";
+  }
+  if (params.index_step < 1 || params.index_step > 4096) {
+    return "index_step must be in [1, 4096]";
+  }
+  if (params.max_chain < 1 || params.max_chain > 65536) {
+    return "max_chain must be in [1, 65536]";
+  }
+  if (params.min_match < params.key_len) {
+    return "min_match must be >= key_len";
+  }
+  if (params.min_match > 4096) {
+    return "min_match must be <= 4096";
+  }
+  return std::nullopt;
+}
+
+struct Encoder::Impl {
+  util::Bytes base_bytes;
+  DeltaParams params;
+  std::uint32_t crc;
+  BaseIndex index;
+
+  Impl(util::Bytes base, const DeltaParams& p)
+      : base_bytes(std::move(base)),
+        params(p),
+        crc(util::crc32(util::as_view(base_bytes))),
+        index(util::as_view(base_bytes), p.key_len, p.index_step) {}
+};
+
+Encoder::Encoder(util::Bytes base, DeltaParams params) {
+  check_params(params);
+  impl_ = std::make_unique<Impl>(std::move(base), params);
+}
+
+Encoder::~Encoder() = default;
+Encoder::Encoder(Encoder&&) noexcept = default;
+Encoder& Encoder::operator=(Encoder&&) noexcept = default;
+
+const util::Bytes& Encoder::base() const { return impl_->base_bytes; }
+const DeltaParams& Encoder::params() const { return impl_->params; }
+std::uint32_t Encoder::base_crc() const { return impl_->crc; }
+
+EncodeResult Encoder::encode(util::BytesView target) const {
+  return encode_with(impl_->index, util::as_view(impl_->base_bytes), impl_->crc, target,
+                     impl_->params);
+}
+
+std::size_t Encoder::encode_size(util::BytesView target) const {
+  return encode_size_with(impl_->index, util::as_view(impl_->base_bytes), target,
+                          impl_->params);
+}
+
+EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaParams& params) {
+  check_params(params);
+  const BaseIndex index(base, params.key_len, params.index_step);
+  return encode_with(index, base, util::crc32(base), target, params);
 }
 
 std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
                                 const DeltaParams& params) {
-  return encode(base, target, params).delta.size();
+  check_params(params);
+  const BaseIndex index(base, params.key_len, params.index_step);
+  return encode_size_with(index, base, target, params);
 }
 
 namespace {
@@ -286,13 +485,22 @@ util::Bytes apply(util::BytesView base, util::BytesView delta) {
       const auto addr = util::get_uvarint(delta, pos);
       if (!addr) throw CorruptDelta("delta: bad copy address");
       if (*addr >= base.size()) {
-        // Superstring address: copy from the target's own prefix; may
-        // overlap the write frontier (byte-wise copy handles runs).
+        // Superstring address: copy from the target's own prefix.
         const auto taddr = static_cast<std::size_t>(*addr) - base.size();
         if (len > 0 && taddr >= out.size()) {
           throw CorruptDelta("delta: self-copy past output frontier");
         }
-        for (std::size_t i = 0; i < len; ++i) out.push_back(out[taddr + i]);
+        // The prefix up to the current frontier is non-overlapping: append
+        // it in one bulk copy. Only a genuinely overlapping (run-like) span
+        // needs the byte-wise loop. out was reserved to target_size and the
+        // bound above guarantees no reallocation, so self-memcpy is safe.
+        const std::size_t bulk = std::min(len, out.size() - taddr);
+        if (bulk > 0) {
+          const std::size_t old_size = out.size();
+          out.resize(old_size + bulk);
+          std::memcpy(out.data() + old_size, out.data() + taddr, bulk);
+        }
+        for (std::size_t i = bulk; i < len; ++i) out.push_back(out[taddr + i]);
       } else {
         if (*addr + len > base.size()) throw CorruptDelta("delta: copy out of range");
         util::append(out, base.subspan(static_cast<std::size_t>(*addr), len));

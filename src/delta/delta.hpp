@@ -1,7 +1,7 @@
 // Vdelta-style delta encoding (Hunt, Vo & Tichy, ACM TOSEM '98), as used by
 // the paper (§II, §III fn.2, §V).
 //
-// encode() builds a hash index over the base-file keyed on fixed-size byte
+// The encoder builds a hash index over the base-file keyed on fixed-size byte
 // chunks and scans the target for maximal matches, emitting a stream of
 // COPY(base_addr, len) and ADD(bytes) instructions. Two parameterizations
 // matter to the paper:
@@ -9,6 +9,13 @@
 //             forward AND backward match extension; used for transmission.
 //   * light — larger chunks, sparse index, shallow search, forward-only;
 //             used to *estimate* closeness during class grouping (§III).
+//
+// The base-file of a class changes only on rebase/anonymize but is delta'd
+// against on every request, so the index build is separated from the match
+// scan: an Encoder owns the base and its prebuilt index and can encode any
+// number of targets against it (see docs/PERFORMANCE.md for the lifecycle).
+// The one-shot encode()/estimate_delta_size() free functions remain for
+// callers without a reusable base.
 //
 // encode() also reports, per 4-byte base chunk, whether the chunk was part
 // of any COPY — exactly the commonality signal the anonymization process
@@ -22,7 +29,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -74,6 +84,13 @@ struct DeltaParams {
   static DeltaParams light() { return DeltaParams{8, 8, 4, false, 16, false}; }
 };
 
+/// Validate a parameterization without encoding anything. Returns nullopt
+/// when the params are usable, otherwise a description of the violated
+/// constraint. The config loader calls this at startup so a bad deployment
+/// config fails with a typed error instead of tripping a precondition check
+/// mid-request; encode() enforces the same ranges.
+std::optional<std::string> validate(const DeltaParams& params);
+
 struct EncodeResult {
   util::Bytes delta;
   /// chunk_used[i] == true iff base chunk [4i, 4i+4) was fully contained in
@@ -83,11 +100,49 @@ struct EncodeResult {
   std::size_t add_bytes = 0;   ///< target bytes produced by ADD
 };
 
-/// Compute the delta that transforms `base` into `target`.
+/// Reusable encoder: owns a base-file plus its prebuilt match index, and
+/// encodes any number of targets against it. Building the index costs
+/// O(base) time and a 512 KB hash-table zeroing; amortizing that across
+/// requests (the base changes only on rebase/anonymize) is the difference
+/// between a per-request and a per-rebase cost.
+///
+/// encode()/encode_size() are const and safe to call concurrently from
+/// multiple threads: per-call scratch (the self-reference target index)
+/// lives in thread-local storage inside the delta library.
+class Encoder {
+ public:
+  explicit Encoder(util::Bytes base, DeltaParams params = DeltaParams::full());
+  ~Encoder();
+  Encoder(Encoder&&) noexcept;
+  Encoder& operator=(Encoder&&) noexcept;
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  const util::Bytes& base() const;
+  const DeltaParams& params() const;
+  /// crc32 of the base, computed once at construction.
+  std::uint32_t base_crc() const;
+
+  /// Compute the delta that transforms the owned base into `target`.
+  /// Byte-identical to the one-shot encode() free function.
+  EncodeResult encode(util::BytesView target) const;
+
+  /// Size in bytes of the delta encode() would produce, without
+  /// materializing a single delta byte (no output buffer, no CRC passes).
+  /// Exactly equal to encode(target).delta.size().
+  std::size_t encode_size(util::BytesView target) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Compute the delta that transforms `base` into `target` (one-shot: the
+/// base index is built, used once and discarded).
 EncodeResult encode(util::BytesView base, util::BytesView target,
                     const DeltaParams& params = DeltaParams::full());
 
-/// Size in bytes of the delta only (no coverage bookkeeping). With
+/// Size in bytes of the delta only (no delta bytes are materialized). With
 /// DeltaParams::light() this is the grouping-time closeness estimate.
 std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
                                 const DeltaParams& params = DeltaParams::light());

@@ -5,6 +5,7 @@
 // Everything is deterministic — no wall clock, no threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -81,6 +82,40 @@ class FifoResource {
 
  private:
   util::SimTime busy_until_ = 0;
+  util::SimTime busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/// c-server FIFO resource (an M/G/c-style worker pool): jobs are taken in
+/// arrival order and each runs on the earliest-available of `servers`
+/// identical servers. With servers == 1 this degenerates to FifoResource.
+/// Models the delta-server's encode worker pool in the capacity experiment.
+class PooledResource {
+ public:
+  explicit PooledResource(std::size_t servers) : busy_until_(servers, 0) {
+    CBDE_EXPECT(servers >= 1);
+  }
+
+  /// A job arriving at `now` needing `service` time: returns its completion
+  /// time (start = max(now, earliest server free time)).
+  util::SimTime submit(util::SimTime now, util::SimTime service) {
+    CBDE_EXPECT(service >= 0);
+    const auto it = std::min_element(busy_until_.begin(), busy_until_.end());
+    const util::SimTime start = std::max(now, *it);
+    *it = start + service;
+    busy_time_ += service;
+    ++jobs_;
+    return *it;
+  }
+
+  std::size_t servers() const { return busy_until_.size(); }
+  /// Total service time performed across all servers; utilization of the
+  /// pool over a horizon H is busy_time / (H * servers).
+  util::SimTime busy_time() const { return busy_time_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+ private:
+  std::vector<util::SimTime> busy_until_;
   util::SimTime busy_time_ = 0;
   std::uint64_t jobs_ = 0;
 };

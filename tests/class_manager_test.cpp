@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "core/class_manager.hpp"
 #include "trace/document.hpp"
@@ -13,20 +14,27 @@ using util::Bytes;
 using util::as_view;
 
 /// Test harness mirroring how DeltaServer drives ClassManager: classes get
-/// the first document grouped into them as their working base.
+/// the first document grouped into them as their working base, held as a
+/// cached light-params encoder.
 struct Grouper {
+  GroupingConfig config;
   ClassManager manager;
-  std::map<ClassId, Bytes> bases;
+  std::map<ClassId, std::unique_ptr<delta::Encoder>> bases;
 
-  explicit Grouper(GroupingConfig config = {}, std::uint64_t seed = 1)
-      : manager(config, seed) {}
+  explicit Grouper(GroupingConfig config_in = {}, std::uint64_t seed = 1)
+      : config(config_in), manager(config_in, seed) {}
+
+  void set_base(ClassId id, const Bytes& doc) {
+    bases[id] = std::make_unique<delta::Encoder>(doc, config.light_params);
+  }
 
   ClassManager::Decision group(const http::UrlParts& parts, const Bytes& doc) {
-    auto decision = manager.group(parts, as_view(doc), [this](ClassId id) {
-      const auto it = bases.find(id);
-      return it == bases.end() ? util::BytesView{} : as_view(it->second);
-    });
-    if (decision.created) bases[decision.id] = doc;
+    auto decision =
+        manager.group(parts, as_view(doc), [this](ClassId id) -> const delta::Encoder* {
+          const auto it = bases.find(id);
+          return it == bases.end() ? nullptr : it->second.get();
+        });
+    if (decision.created) set_base(decision.id, doc);
     return decision;
   }
 };
@@ -131,7 +139,7 @@ TEST(ClassManager, ManualClassesBypassContentTest) {
   Grouper g;
   Corpus c;
   const ClassId manual = g.manager.add_manual_class("www.foo.com", "adhoc");
-  g.bases[manual] = c.laptop(1);
+  g.set_base(manual, c.laptop(1));
   const auto decision = g.group(parts("www.foo.com", "adhoc", "anything"), c.desktop(5));
   EXPECT_FALSE(decision.created);
   EXPECT_EQ(decision.id, manual);

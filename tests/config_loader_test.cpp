@@ -83,6 +83,36 @@ TEST(ConfigLoader, CrossFieldValidation) {
                ConfigError);
 }
 
+TEST(ConfigLoader, DeltaParamsParsed) {
+  const auto config = parse(
+      "[delta-server]\n"
+      "delta-key-len = 8\n"
+      "delta-index-step = 2\n"
+      "delta-max-chain = 16\n"
+      "delta-min-match = 24\n");
+  EXPECT_EQ(config.server.transmit_params.key_len, 8u);
+  EXPECT_EQ(config.server.transmit_params.index_step, 2u);
+  EXPECT_EQ(config.server.transmit_params.max_chain, 16u);
+  EXPECT_EQ(config.server.transmit_params.min_match, 24u);
+}
+
+TEST(ConfigLoader, DeltaParamsRangeGuardedAtLoadTime) {
+  // Out-of-range delta params must surface as typed ConfigErrors when the
+  // config loads, not as precondition failures mid-request.
+  EXPECT_THROW(parse("[delta-server]\ndelta-key-len = 1\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\ndelta-key-len = 128\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\ndelta-index-step = 0\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\ndelta-max-chain = 0\n"), ConfigError);
+  EXPECT_THROW(parse("[delta-server]\ndelta-min-match = 2\n"), ConfigError);  // < key_len
+  EXPECT_THROW(parse("[delta-server]\ndelta-min-match = 10000\n"), ConfigError);
+  try {
+    parse("[delta-server]\ndelta-max-chain = 0\n");
+    FAIL() << "bad delta params accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("transmit"), std::string::npos);
+  }
+}
+
 TEST(ConfigLoader, LoadedConfigDrivesARealServer) {
   auto config = parse(
       "[delta-server]\n"

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <future>
+#include <vector>
+
 #include "core/delta_server.hpp"
+#include "core/delta_worker_pool.hpp"
 #include "trace/site.hpp"
 
 namespace cbde::core {
@@ -255,6 +259,100 @@ TEST(DeltaServer, StorageStaysFarBelowClasslessStorage) {
     }
   }
   EXPECT_LT(rig.server.storage_bytes() * 3, rig.server.classless_storage_bytes());
+}
+
+TEST(DeltaServerPool, ThreadedStressMatchesSerialTotals) {
+  // N worker threads x M classes through the DeltaWorkerPool. Assertions are
+  // order-independent (thread interleaving changes which individual request
+  // is served how, but not the conserved totals), and every delta response
+  // must apply against the base version it reports. Run under the tsan
+  // preset by ci.sh.
+  auto config = Rig::fast_config();
+  config.selector.sample_prob = 0.1;
+  trace::SiteConfig sconfig;
+  sconfig.docs_per_category = 8;
+  sconfig.categories = {"laptops", "desktops", "tablets", "phones"};
+  const trace::SiteModel site(sconfig);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  DeltaServer server(config, std::move(rules));
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kRequests = 160;
+  struct Sent {
+    std::size_t doc_bytes;
+    std::future<ServedResponse> response;
+  };
+  std::vector<Sent> sent;
+  sent.reserve(kRequests);
+  {
+    DeltaWorkerPool pool(server, kWorkers, /*queue_capacity=*/16);
+    EXPECT_EQ(pool.workers(), kWorkers);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const trace::DocRef ref{i % sconfig.categories.size(),
+                              i % sconfig.docs_per_category};
+      const std::uint64_t user = 1 + i % 13;
+      const util::SimTime now = static_cast<util::SimTime>(i) * util::kSecond;
+      Bytes doc = site.generate(ref, user, now);
+      const std::size_t doc_bytes = doc.size();
+      sent.push_back(
+          Sent{doc_bytes, pool.submit(user, site.url_for(ref), std::move(doc), now)});
+    }
+  }  // pool destructor drains the queue and joins
+
+  std::size_t direct = 0;
+  std::size_t deltas = 0;
+  std::size_t doc_bytes_total = 0;
+  std::size_t wire_bytes_total = 0;
+  std::size_t base_wire_total = 0;
+  for (Sent& s : sent) {
+    const ServedResponse resp = s.response.get();
+    EXPECT_EQ(resp.doc_size, s.doc_bytes);
+    if (resp.mode == ServedResponse::Mode::kDelta) {
+      ++deltas;
+      // The delta must apply against the exact version it reports (which a
+      // concurrent rebase may have since superseded but not yet evicted).
+      const auto base = server.fetch_base(resp.class_id, resp.base_version);
+      ASSERT_TRUE(base.has_value());
+      const Bytes raw = resp.wire_compressed
+                            ? compress::decompress(as_view(resp.wire_body))
+                            : resp.wire_body;
+      EXPECT_EQ(delta::apply(as_view(*base), as_view(raw)).size(), resp.doc_size);
+    } else {
+      ++direct;
+      EXPECT_EQ(resp.wire_body.size(), resp.doc_size);
+    }
+    doc_bytes_total += resp.doc_size;
+    wire_bytes_total += resp.wire_body.size();
+    base_wire_total += resp.base_needed ? resp.base_size : 0;
+  }
+
+  // Conserved totals must match the serial bookkeeping exactly.
+  const auto& m = server.metrics();
+  EXPECT_EQ(m.requests, kRequests);
+  EXPECT_EQ(m.direct_responses + m.delta_responses, kRequests);
+  EXPECT_EQ(m.direct_responses, direct);
+  EXPECT_EQ(m.delta_responses, deltas);
+  EXPECT_EQ(m.direct_bytes, doc_bytes_total);
+  EXPECT_EQ(m.wire_bytes, wire_bytes_total);
+  EXPECT_EQ(m.base_wire_bytes, base_wire_total);
+  EXPECT_GT(deltas, kRequests / 2);  // steady state actually reached
+}
+
+TEST(DeltaServerPool, SubmitAfterShutdownThrows) {
+  auto config = Rig::fast_config();
+  trace::SiteConfig sconfig;
+  const trace::SiteModel site(sconfig);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  DeltaServer server(config, std::move(rules));
+  DeltaWorkerPool pool(server, 2);
+  const trace::DocRef ref{0, 0};
+  auto f = pool.submit(1, site.url_for(ref), site.generate(ref, 1, 0), 0);
+  EXPECT_EQ(f.get().mode, ServedResponse::Mode::kDirect);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit(1, site.url_for(ref), site.generate(ref, 1, 0), 0),
+               std::runtime_error);
 }
 
 TEST(DeltaServer, FallsBackToDirectWhenDeltaUseless) {

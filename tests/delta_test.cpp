@@ -298,6 +298,91 @@ TEST(Delta, BadParamsRejected) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------------ cached encoder
+
+/// Fixed corpus exercising every matcher path: template documents (temporal
+/// + cross-document deltas), adversarial shapes, self-reference, empties.
+std::vector<std::pair<Bytes, Bytes>> golden_corpus() {
+  const trace::DocumentTemplate tmpl(7, trace::TemplateConfig{});
+  const trace::DocumentTemplate other(43, trace::TemplateConfig{});
+  std::string run3 = "abc";
+  while (run3.size() < 5000) run3 += "abc";
+  return {
+      {tmpl.generate(0, 1, 0), tmpl.generate(0, 1, 120 * util::kSecond)},
+      {tmpl.generate(0, 1, 0), tmpl.generate(3, 9, 120 * util::kSecond)},
+      {tmpl.generate(0, 1, 0), other.generate(99, 200, 0)},
+      {random_bytes(1, 5000), random_bytes(2, 5000)},
+      {random_bytes(3, 5000), random_bytes(3, 5000)},
+      {to_bytes(""), random_bytes(4, 1000)},
+      {random_bytes(5, 1000), to_bytes("")},
+      {to_bytes("zz"), to_bytes(run3)},
+      {to_bytes(std::string(1000, 'x')), to_bytes(std::string(3000, 'x'))},
+  };
+}
+
+TEST(Encoder, GoldenByteIdenticalToOneShotAndRoundTrips) {
+  // The cached-index encoder must be a pure amortization: for every corpus
+  // pair and both parameterizations its output is byte-for-byte the one-shot
+  // encode() output, encode_size() is exact, and the delta applies back to
+  // the target bit-exactly.
+  for (const DeltaParams& params : {DeltaParams::full(), DeltaParams::light()}) {
+    for (const auto& [base, target] : golden_corpus()) {
+      const auto one_shot = encode(as_view(base), as_view(target), params);
+      const Encoder cached(base, params);
+      const auto from_cache = cached.encode(as_view(target));
+      EXPECT_EQ(from_cache.delta, one_shot.delta);
+      EXPECT_EQ(from_cache.chunk_used, one_shot.chunk_used);
+      EXPECT_EQ(from_cache.copy_bytes, one_shot.copy_bytes);
+      EXPECT_EQ(from_cache.add_bytes, one_shot.add_bytes);
+      EXPECT_EQ(cached.encode_size(as_view(target)), one_shot.delta.size());
+      EXPECT_EQ(apply(as_view(base), as_view(from_cache.delta)), target);
+      // Deterministic: re-encoding through the same cached index (reused
+      // thread-local scratch) cannot change a byte.
+      EXPECT_EQ(cached.encode(as_view(target)).delta, one_shot.delta);
+    }
+  }
+}
+
+TEST(Encoder, ReportsBaseAndCrc) {
+  const Bytes base = random_bytes(77, 4096);
+  const Encoder encoder(base);
+  EXPECT_EQ(encoder.base(), base);
+  EXPECT_EQ(encoder.base_crc(), util::crc32(as_view(base)));
+  EXPECT_EQ(encoder.params().key_len, DeltaParams::full().key_len);
+}
+
+TEST(Encoder, EstimateDeltaSizeMatchesEncodeExactly) {
+  // estimate_delta_size() now runs the size-only sink: it must equal the
+  // materialized light encode, not approximate it.
+  for (const auto& [base, target] : golden_corpus()) {
+    EXPECT_EQ(estimate_delta_size(as_view(base), as_view(target)),
+              encode(as_view(base), as_view(target), DeltaParams::light()).delta.size());
+  }
+}
+
+TEST(Delta, ValidateReportsBadParams) {
+  EXPECT_FALSE(validate(DeltaParams::full()).has_value());
+  EXPECT_FALSE(validate(DeltaParams::light()).has_value());
+  EXPECT_TRUE(validate(DeltaParams{1, 1, 1, false}).has_value());   // key_len < 2
+  EXPECT_TRUE(validate(DeltaParams{4, 0, 1, false}).has_value());   // step 0
+  EXPECT_TRUE(validate(DeltaParams{4, 1, 0, false}).has_value());   // chain 0
+  DeltaParams tiny_match = DeltaParams::full();
+  tiny_match.min_match = 2;  // below key_len
+  EXPECT_TRUE(validate(tiny_match).has_value());
+}
+
+TEST(Delta, NonOverlappingSelfCopyBulkPathRoundTrips) {
+  // Self-copy whose source span is entirely behind the frontier: apply()
+  // takes the bulk memcpy path. Repeat a 1 KB block so matches are long and
+  // strictly non-overlapping.
+  const Bytes block = random_bytes(91, 1024);
+  Bytes target;
+  for (int i = 0; i < 16; ++i) util::append(target, as_view(block));
+  const auto result = encode({}, as_view(target));
+  EXPECT_EQ(apply({}, as_view(result.delta)), target);
+  EXPECT_LT(result.delta.size(), 2048u);
+}
+
 // ------------------------------------------------------------ paper-scale behaviour
 
 TEST(Delta, TemporalSnapshotsProduceSmallDeltas) {
