@@ -143,7 +143,7 @@ void ablation_popular_fraction() {
     core::Pipeline pipeline(origin, config, rules);
     pipeline.process_all(trace::WorkloadGenerator(site, wconfig).generate());
     const auto report = pipeline.report();
-    const auto& tries = pipeline.delta_server().classes().stats().tries;
+    const auto tries = pipeline.delta_server().grouping_stats().tries;
     double mean_tries = 0;
     for (std::size_t t = 0; t < tries.buckets(); ++t) {
       mean_tries += static_cast<double>(t) * static_cast<double>(tries.bucket(t));

@@ -90,7 +90,7 @@ int main() {
                       *origin.document(req.url, req.user_id, req.time));
   }
   const auto report = pipeline.report();
-  const auto& gstats = pipeline.delta_server().classes().stats();
+  const auto gstats = pipeline.delta_server().grouping_stats();
 
   // Distinct documents (and personalized variants) actually requested.
   std::map<std::string, std::size_t> distinct_docs;

@@ -129,7 +129,7 @@ int main() {
     core::Pipeline pipeline(origin, config, rules);
     pipeline.process_all(trace::WorkloadGenerator(site, wconfig).generate());
     const auto report = pipeline.report();
-    const auto& gstats = pipeline.delta_server().classes().stats();
+    const auto gstats = pipeline.delta_server().grouping_stats();
 
     std::uint64_t within_two = 0;
     for (std::size_t t = 0; t <= 2; ++t) within_two += gstats.tries.bucket(t);

@@ -1,16 +1,27 @@
 #!/usr/bin/env sh
-# CI gate: sanitizer build + full test suite + clang-tidy over src/.
+# CI gate: repo lint + sanitizer build + full test suite + Clang
+# thread-safety analysis + clang-tidy over src/.
 #
 #   ./ci.sh          full run
-#   ./ci.sh --fast   skip clang-tidy (for hosts without LLVM installed)
+#   ./ci.sh --fast   skip the Clang-only stages (thread-safety, clang-tidy)
 #
-# Fails on: any compiler warning (CBDE_WERROR), any test failure, any
-# sanitizer report (-fno-sanitize-recover promotes them to test failures),
-# any clang-tidy diagnostic. See docs/ANALYSIS.md.
+# Fails on: any cbde_lint finding, any compiler warning (CBDE_WERROR), any
+# test failure, any sanitizer report (-fno-sanitize-recover promotes them to
+# test failures), any thread-safety or clang-tidy diagnostic. Clang-only
+# stages skip LOUDLY when LLVM is absent — a skip is printed, never silently
+# green. See docs/ANALYSIS.md.
 set -eu
 
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== cbde lint (self-test, then src/ tests/ bench/) =="
+  python3 tools/lint/cbde_lint.py --self-test
+  python3 tools/lint/cbde_lint.py src tests bench
+else
+  echo "== SKIPPED: python3 not installed — cbde lint NOT run ==" >&2
+fi
 
 echo "== configure + build (asan-ubsan preset) =="
 cmake --preset asan-ubsan
@@ -34,12 +45,21 @@ for key in encode_cached_cross speedup_4v1 hardware_concurrency; do
 done
 
 if [ "${1:-}" = "--fast" ]; then
-  echo "== clang-tidy skipped (--fast) =="
+  echo "== Clang stages skipped (--fast): thread-safety analysis, clang-tidy =="
   exit 0
 fi
 
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== Clang thread-safety analysis (clang-tsa preset, -Werror) =="
+  cmake --preset clang-tsa
+  cmake --build --preset clang-tsa -j "$JOBS"
+  ctest --preset clang-tsa -R 'thread_safety' --output-on-failure
+else
+  echo "== SKIPPED: clang++ not installed — thread-safety analysis gate NOT run ==" >&2
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "== clang-tidy not installed; skipping lint (install LLVM to enable) =="
+  echo "== SKIPPED: clang-tidy not installed — tidy gate NOT run (install LLVM) ==" >&2
   exit 0
 fi
 

@@ -14,19 +14,26 @@ namespace cbde::core {
 
 void MemoryBaseStore::put(std::uint64_t class_id, std::uint32_t version,
                           util::BytesView base) {
-  erase(class_id, version);
+  const LockGuard lock(mu_);
+  erase_locked(class_id, version);
   bytes_ += base.size();
   store_.emplace(std::make_pair(class_id, version), util::Bytes(base.begin(), base.end()));
 }
 
 std::optional<util::Bytes> MemoryBaseStore::get(std::uint64_t class_id,
                                                 std::uint32_t version) const {
+  const LockGuard lock(mu_);
   const auto it = store_.find({class_id, version});
   if (it == store_.end()) return std::nullopt;
   return it->second;
 }
 
 void MemoryBaseStore::erase(std::uint64_t class_id, std::uint32_t version) {
+  const LockGuard lock(mu_);
+  erase_locked(class_id, version);
+}
+
+void MemoryBaseStore::erase_locked(std::uint64_t class_id, std::uint32_t version) {
   const auto it = store_.find({class_id, version});
   if (it == store_.end()) return;
   bytes_ -= it->second.size();
@@ -34,6 +41,7 @@ void MemoryBaseStore::erase(std::uint64_t class_id, std::uint32_t version) {
 }
 
 bool MemoryBaseStore::contains(std::uint64_t class_id, std::uint32_t version) const {
+  const LockGuard lock(mu_);
   return store_.contains({class_id, version});
 }
 
@@ -102,6 +110,8 @@ DiskBaseStore::DiskBaseStore(std::filesystem::path dir) : dir_(std::move(dir)) {
     const auto file = read_file(entry.path());
     if (!file) continue;
     const auto payload = unframe(*file);
+    // Construction is single-threaded; the analysis exempts constructors,
+    // so the recovery scan writes the guarded fields directly.
     if (!payload) {
       ++corrupt_reads_;
       continue;
@@ -118,6 +128,9 @@ std::filesystem::path DiskBaseStore::path_for(std::uint64_t class_id,
 
 void DiskBaseStore::put(std::uint64_t class_id, std::uint32_t version,
                         util::BytesView base) {
+  // The write itself is serialized too: concurrent put()s to the same
+  // (class, version) would otherwise race on the shared .tmp name.
+  const LockGuard lock(mu_);
   const auto path = path_for(class_id, version);
   const auto tmp = path.string() + ".tmp";
   {
@@ -138,6 +151,7 @@ void DiskBaseStore::put(std::uint64_t class_id, std::uint32_t version,
 
 std::optional<util::Bytes> DiskBaseStore::get(std::uint64_t class_id,
                                               std::uint32_t version) const {
+  const LockGuard lock(mu_);
   if (!index_.contains({class_id, version})) return std::nullopt;
   const auto file = read_file(path_for(class_id, version));
   if (!file) {
@@ -150,6 +164,7 @@ std::optional<util::Bytes> DiskBaseStore::get(std::uint64_t class_id,
 }
 
 void DiskBaseStore::erase(std::uint64_t class_id, std::uint32_t version) {
+  const LockGuard lock(mu_);
   const auto key = std::make_pair(class_id, version);
   const auto it = index_.find(key);
   if (it == index_.end()) return;
@@ -160,6 +175,7 @@ void DiskBaseStore::erase(std::uint64_t class_id, std::uint32_t version) {
 }
 
 bool DiskBaseStore::contains(std::uint64_t class_id, std::uint32_t version) const {
+  const LockGuard lock(mu_);
   return index_.contains({class_id, version});
 }
 

@@ -18,9 +18,15 @@
 #include <optional>
 
 #include "util/bytes.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cbde::core {
 
+/// Thread-safety contract: implementations must be internally synchronized.
+/// The delta-server mutates the store from serve() (under its own lock)
+/// while tests and operational tooling inspect it through
+/// DeltaServer::base_store() with no lock of their own; both built-in
+/// stores therefore guard their state with an annotated mutex.
 class BaseStore {
  public:
   virtual ~BaseStore() = default;
@@ -38,17 +44,30 @@ class BaseStore {
 
 class MemoryBaseStore final : public BaseStore {
  public:
+  // The overrides stay unannotated (EXCLUDES and virt-specifiers do not mix
+  // well across compilers); the GUARDED_BY fields below still force every
+  // body to take the lock.
   void put(std::uint64_t class_id, std::uint32_t version, util::BytesView base) override;
   std::optional<util::Bytes> get(std::uint64_t class_id,
                                  std::uint32_t version) const override;
   void erase(std::uint64_t class_id, std::uint32_t version) override;
   bool contains(std::uint64_t class_id, std::uint32_t version) const override;
-  std::size_t bytes_stored() const override { return bytes_; }
-  std::size_t entries() const override { return store_.size(); }
+  std::size_t bytes_stored() const override {
+    const LockGuard lock(mu_);
+    return bytes_;
+  }
+  std::size_t entries() const override {
+    const LockGuard lock(mu_);
+    return store_.size();
+  }
 
  private:
-  std::map<std::pair<std::uint64_t, std::uint32_t>, util::Bytes> store_;
-  std::size_t bytes_ = 0;
+  /// Unlocked core of erase(), shared with put()'s replace path.
+  void erase_locked(std::uint64_t class_id, std::uint32_t version) REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, util::Bytes> store_ GUARDED_BY(mu_);
+  std::size_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 class DiskBaseStore final : public BaseStore {
@@ -63,22 +82,32 @@ class DiskBaseStore final : public BaseStore {
                                  std::uint32_t version) const override;
   void erase(std::uint64_t class_id, std::uint32_t version) override;
   bool contains(std::uint64_t class_id, std::uint32_t version) const override;
-  std::size_t bytes_stored() const override { return bytes_; }
-  std::size_t entries() const override { return index_.size(); }
+  std::size_t bytes_stored() const override {
+    const LockGuard lock(mu_);
+    return bytes_;
+  }
+  std::size_t entries() const override {
+    const LockGuard lock(mu_);
+    return index_.size();
+  }
 
   /// Reads that failed checksum or framing validation.
-  std::uint64_t corrupt_reads() const { return corrupt_reads_; }
+  std::uint64_t corrupt_reads() const EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    return corrupt_reads_;
+  }
 
   const std::filesystem::path& directory() const { return dir_; }
 
  private:
   std::filesystem::path path_for(std::uint64_t class_id, std::uint32_t version) const;
 
-  std::filesystem::path dir_;
+  std::filesystem::path dir_;  // immutable after construction
+  mutable Mutex mu_;
   /// (class, version) -> payload size.
-  std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> index_;
-  std::size_t bytes_ = 0;
-  mutable std::uint64_t corrupt_reads_ = 0;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> index_ GUARDED_BY(mu_);
+  std::size_t bytes_ GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t corrupt_reads_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cbde::core

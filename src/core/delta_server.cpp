@@ -74,7 +74,7 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
   std::shared_ptr<const delta::Encoder> transmit;
   std::uint32_t snap_version = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     ++metrics_.requests;
     metrics_.direct_bytes += doc.size();
 
@@ -92,11 +92,15 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
 
     // 1. Partition the URL and group the request into a class. Probes run
     // against the cached per-class light encoders — no index is built here.
+    // The probe callback runs synchronously inside group() with mu_ held,
+    // but the analysis cannot see into the lambda, so it reaches the class
+    // table through a local alias established under the lock.
     const http::UrlParts parts = rules_.partition(url);
+    const auto& states = states_;
     const auto decision =
-        classes_.group(parts, doc, [this](ClassId id) -> const delta::Encoder* {
-          const auto it = states_.find(id);
-          return it == states_.end() ? nullptr : it->second->working_encoder.get();
+        classes_.group(parts, doc, [&states](ClassId id) -> const delta::Encoder* {
+          const auto it = states.find(id);
+          return it == states.end() ? nullptr : it->second->working_encoder.get();
         });
     out.class_id = decision.id;
     out.class_created = decision.created;
@@ -150,7 +154,7 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
 
   // Phase 3 — locked: commit the response, then the rebase decisions.
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     ClassState& cls = *cls_ptr;
     if (serve_delta) {
       out.mode = ServedResponse::Mode::kDelta;
@@ -208,7 +212,7 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
 }
 
 std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const auto it = states_.find(id);
   if (it == states_.end() || it->second->published_version == 0) return std::nullopt;
   return PublishedBase{it->second->published_version,
@@ -217,7 +221,7 @@ std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id
 
 std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
                                                    std::uint32_t version) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   // Hot path: the current version is cached in memory.
   const auto it = states_.find(id);
   if (it != states_.end() && it->second->published_version == version &&
@@ -228,7 +232,7 @@ std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
 }
 
 std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   std::vector<ClassSummary> out;
   out.reserve(states_.size());
   for (const auto& [id, cls] : states_) {
@@ -248,7 +252,7 @@ std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
 }
 
 std::size_t DeltaServer::storage_bytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   // Retained published versions live in the base store (the in-memory copy
   // of each current base is a cache, not extra footprint).
   std::size_t total = store_->bytes_stored();

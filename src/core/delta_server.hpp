@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -32,6 +31,7 @@
 #include "compress/compressor.hpp"
 #include "http/partition.hpp"
 #include "util/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cbde::core {
 
@@ -117,28 +117,39 @@ class DeltaServer {
   /// snapshot means a concurrent rebase can never invalidate an in-flight
   /// encode; the delta is simply against the version the response reports.
   ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
-                       util::SimTime now);
+                       util::SimTime now) EXCLUDES(mu_);
 
   /// Published (client-visible) base-file of a class, if any.
   struct PublishedBase {
     std::uint32_t version = 0;
     util::BytesView bytes;
   };
-  std::optional<PublishedBase> published_base(ClassId id) const;
+  std::optional<PublishedBase> published_base(ClassId id) const EXCLUDES(mu_);
 
   /// A specific retained version (current or recent history) from the base
   /// store; nullopt if the class is unknown or the version has aged out.
-  std::optional<util::Bytes> fetch_base(ClassId id, std::uint32_t version) const;
+  std::optional<util::Bytes> fetch_base(ClassId id, std::uint32_t version) const
+      EXCLUDES(mu_);
 
+  /// The store is internally synchronized, so direct inspection is safe even
+  /// while workers are serving.
   const BaseStore& base_store() const { return *store_; }
 
-  const PipelineMetrics& metrics() const { return metrics_; }
-  const ClassManager& classes() const { return classes_; }
+  /// Consistent snapshot of the pipeline counters.
+  PipelineMetrics metrics() const EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return metrics_;
+  }
+  /// Consistent snapshot of the grouping statistics (§III instrumentation).
+  GroupingStats grouping_stats() const EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return classes_.stats();
+  }
   const http::RuleBook& rules() const { return rules_; }
 
   /// Server-side storage the scheme requires: working + published bases and
   /// selector samples across all classes (the paper's scalability metric).
-  std::size_t storage_bytes() const;
+  std::size_t storage_bytes() const EXCLUDES(mu_);
 
   /// Operational snapshot of one class.
   struct ClassSummary {
@@ -150,13 +161,19 @@ class DeltaServer {
     std::size_t selector_samples = 0;
     bool anonymizing = false;
   };
-  std::vector<ClassSummary> class_summaries() const;
+  std::vector<ClassSummary> class_summaries() const EXCLUDES(mu_);
 
   /// What classless delta-encoding would store instead: one base-file per
   /// distinct (user, URL) pair seen.
-  std::size_t classless_storage_bytes() const { return classless_storage_bytes_; }
+  std::size_t classless_storage_bytes() const EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return classless_storage_bytes_;
+  }
 
-  std::size_t num_classes() const { return classes_.num_classes(); }
+  std::size_t num_classes() const EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return classes_.num_classes();
+  }
 
  private:
   struct ClassState {
@@ -182,29 +199,33 @@ class DeltaServer {
         : selector(config.selector, seed), anonymizer(config.anonymizer) {}
   };
 
-  ClassState& state_of(ClassId id);
+  ClassState& state_of(ClassId id) REQUIRES(mu_);
   std::shared_ptr<const delta::Encoder> make_working_encoder(util::BytesView doc) const;
-  void start_publication(ClassId id, ClassState& cls, util::SimTime now);
-  void maybe_complete_publication(ClassId id, ClassState& cls, util::SimTime now);
-  void record_publication(ClassId id, ClassState& cls);
+  void start_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
+  void maybe_complete_publication(ClassId id, ClassState& cls, util::SimTime now)
+      REQUIRES(mu_);
+  void record_publication(ClassId id, ClassState& cls) REQUIRES(mu_);
 
-  DeltaServerConfig config_;
-  http::RuleBook rules_;
+  DeltaServerConfig config_;  // immutable after construction
+  http::RuleBook rules_;      // immutable after construction
+  /// The pointer is immutable after construction; the store itself is
+  /// internally synchronized (see BaseStore), so it carries no GUARDED_BY.
   std::unique_ptr<BaseStore> store_;
-  ClassManager classes_;
-  std::map<ClassId, std::unique_ptr<ClassState>> states_;
+  ClassManager classes_ GUARDED_BY(mu_);
+  /// ClassState objects are owned by unique_ptr map values and never
+  /// erased, so a ClassState* stays valid across an unlock — but its fields
+  /// follow the map's discipline: touch them only while holding mu_.
+  std::map<ClassId, std::unique_ptr<ClassState>> states_ GUARDED_BY(mu_);
   /// Base version each (client, class) currently holds.
-  std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions_;
+  std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions_
+      GUARDED_BY(mu_);
   /// Distinct (user, url) -> last document size, for the classless-storage
   /// comparison.
-  std::map<std::uint64_t, std::size_t> classless_docs_;
-  std::size_t classless_storage_bytes_ = 0;
-  util::Rng rng_;
-  PipelineMetrics metrics_;
-  /// Guards every member above except config_ and rules_ (immutable after
-  /// construction). ClassState objects are owned by unique_ptr map values
-  /// and never erased, so a ClassState* stays valid across an unlock.
-  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::size_t> classless_docs_ GUARDED_BY(mu_);
+  std::size_t classless_storage_bytes_ GUARDED_BY(mu_) = 0;
+  util::Rng rng_ GUARDED_BY(mu_);
+  PipelineMetrics metrics_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace cbde::core

@@ -8,7 +8,7 @@ namespace cbde::core {
 
 DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
                                  std::size_t queue_capacity)
-    : server_(server), capacity_(queue_capacity) {
+    : server_(server), capacity_(queue_capacity), worker_count_(workers) {
   CBDE_EXPECT(workers >= 1);
   CBDE_EXPECT(queue_capacity >= 1);
   threads_.reserve(workers);
@@ -29,8 +29,8 @@ std::future<ServedResponse> DeltaWorkerPool::submit(std::uint64_t user_id,
   job.now = now;
   std::future<ServedResponse> result = job.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+    const LockGuard lock(mu_);
+    while (queue_.size() >= capacity_ && !stopping_) not_full_.wait(mu_);
     if (stopping_) throw std::runtime_error("DeltaWorkerPool: submit after shutdown");
     queue_.push_back(std::move(job));
   }
@@ -42,8 +42,8 @@ void DeltaWorkerPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      const LockGuard lock(mu_);
+      while (queue_.empty() && !stopping_) not_empty_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -58,18 +58,36 @@ void DeltaWorkerPool::worker_loop() {
   }
 }
 
+std::vector<std::thread> DeltaWorkerPool::take_threads_for_join() {
+  stopping_ = true;
+  std::vector<std::thread> taken;
+  taken.swap(threads_);
+  return taken;
+}
+
 void DeltaWorkerPool::shutdown() {
+  std::vector<std::thread> to_join;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && threads_.empty()) return;
-    stopping_ = true;
+    const LockGuard lock(mu_);
+    if (stopping_) {
+      // Another caller owns the join (or already finished it). Wait it out
+      // so that *every* shutdown() return means the workers are gone —
+      // returning early here was a double-join race before PR 3.
+      while (!join_done_) join_done_cv_.wait(mu_);
+      return;
+    }
+    to_join = take_threads_for_join();
   }
   not_empty_.notify_all();
   not_full_.notify_all();
-  for (std::thread& t : threads_) {
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
-  threads_.clear();
+  {
+    const LockGuard lock(mu_);
+    join_done_ = true;
+  }
+  join_done_cv_.notify_all();
 }
 
 }  // namespace cbde::core

@@ -12,17 +12,23 @@
 //     memory growth);
 //   * each request's ServedResponse (or exception) is delivered through a
 //     std::future.
+//
+// Shutdown contract: shutdown() is idempotent and safe to race from any
+// number of threads (exactly one joins the workers; the rest block until
+// the join completes). Requests already queued are still served, so every
+// future handed out by submit() becomes ready — with a value, an exception
+// from serve(), or (if a worker dies) std::future_error/broken_promise.
+// Nothing is leaked.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/delta_server.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cbde::core {
 
@@ -42,13 +48,14 @@ class DeltaWorkerPool {
   /// buffer need not outlive the call). Blocks while the queue is full;
   /// throws std::runtime_error after shutdown().
   std::future<ServedResponse> submit(std::uint64_t user_id, http::Url url,
-                                     util::Bytes doc, util::SimTime now);
+                                     util::Bytes doc, util::SimTime now) EXCLUDES(mu_);
 
   /// Stop accepting work, serve what is queued, join the threads.
-  /// Idempotent; also run by the destructor.
-  void shutdown();
+  /// Idempotent and safe to call concurrently; every caller returns only
+  /// after the workers are joined. Also run by the destructor.
+  void shutdown() EXCLUDES(mu_);
 
-  std::size_t workers() const { return threads_.size(); }
+  std::size_t workers() const { return worker_count_; }
 
  private:
   struct Job {
@@ -59,16 +66,24 @@ class DeltaWorkerPool {
     std::promise<ServedResponse> promise;
   };
 
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
+
+  /// Stop path, split out so the lock requirement is explicit: flags the
+  /// pool stopping and hands the worker threads to the (single) caller that
+  /// owns the join.
+  std::vector<std::thread> take_threads_for_join() REQUIRES(mu_);
 
   DeltaServer& server_;
   const std::size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  const std::size_t worker_count_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  CondVar join_done_cv_;
+  std::deque<Job> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool join_done_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
 };
 
 }  // namespace cbde::core

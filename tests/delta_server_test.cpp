@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/delta_server.hpp"
@@ -353,6 +357,126 @@ TEST(DeltaServerPool, SubmitAfterShutdownThrows) {
   pool.shutdown();
   EXPECT_THROW(pool.submit(1, site.url_for(ref), site.generate(ref, 1, 0), 0),
                std::runtime_error);
+}
+
+// PR 3 regression: destroying the pool while requests are still queued must
+// leave every outstanding future completed (value or exception) — never an
+// abandoned promise the consumer would block on forever.
+TEST(DeltaServerPool, DestructionWithQueuedRequestsCompletesEveryFuture) {
+  auto config = Rig::fast_config();
+  trace::SiteConfig sconfig;
+  sconfig.docs_per_category = 6;
+  const trace::SiteModel site(sconfig);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  DeltaServer server(config, std::move(rules));
+
+  constexpr std::size_t kRequests = 48;
+  std::vector<std::future<ServedResponse>> futures;
+  futures.reserve(kRequests);
+  {
+    // One worker and a deep queue: the destructor runs with most of the
+    // requests still waiting.
+    DeltaWorkerPool pool(server, 1, /*queue_capacity=*/kRequests);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const trace::DocRef ref{0, i % sconfig.docs_per_category};
+      futures.push_back(pool.submit(1 + i % 5, site.url_for(ref),
+                                    site.generate(ref, 1 + i % 5, 0),
+                                    static_cast<util::SimTime>(i)));
+    }
+  }  // ~DeltaWorkerPool: drain + join
+
+  std::size_t completed = 0;
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    // Already ready — shutdown joined the workers, nothing is pending.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_NO_THROW((void)f.get());
+    ++completed;
+  }
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_EQ(server.metrics().requests, kRequests);
+}
+
+// PR 3 regression: shutdown() raced from several threads used to double-join
+// the workers (the loser saw stopping_ set but the thread vector still
+// populated). Now exactly one caller joins and the rest block until it is
+// done, so *every* shutdown() return means the workers are gone.
+TEST(DeltaServerPool, ConcurrentShutdownIsSafe) {
+  auto config = Rig::fast_config();
+  trace::SiteConfig sconfig;
+  const trace::SiteModel site(sconfig);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  DeltaServer server(config, std::move(rules));
+
+  DeltaWorkerPool pool(server, 2, /*queue_capacity=*/8);
+  std::vector<std::future<ServedResponse>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const trace::DocRef ref{0, i % sconfig.docs_per_category};
+    futures.push_back(pool.submit(1, site.url_for(ref), site.generate(ref, 1, 0),
+                                  static_cast<util::SimTime>(i)));
+  }
+  std::thread racer_a([&pool] { pool.shutdown(); });
+  std::thread racer_b([&pool] { pool.shutdown(); });
+  pool.shutdown();
+  racer_a.join();
+  racer_b.join();
+
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+  const trace::DocRef ref{0, 0};
+  EXPECT_THROW(pool.submit(1, site.url_for(ref), site.generate(ref, 1, 0), 0),
+               std::runtime_error);
+  pool.shutdown();  // still idempotent afterwards
+}
+
+// Producers racing shutdown(): each submit() either throws (pool already
+// stopping) or yields a future that completes. Accounting both paths must
+// cover every attempt — a leaked future would hang get() and fail the test
+// by timeout.
+TEST(DeltaServerPool, SubmitRacingShutdownNeverLeaksAFuture) {
+  auto config = Rig::fast_config();
+  trace::SiteConfig sconfig;
+  sconfig.docs_per_category = 4;
+  const trace::SiteModel site(sconfig);
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  DeltaServer server(config, std::move(rules));
+
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 16;
+  // Pre-generate outside the producers so they only exercise the pool.
+  std::vector<Bytes> docs;
+  std::vector<http::Url> urls;
+  for (std::size_t i = 0; i < kPerProducer; ++i) {
+    const trace::DocRef ref{0, i % sconfig.docs_per_category};
+    urls.push_back(site.url_for(ref));
+    docs.push_back(site.generate(ref, 1, 0));
+  }
+
+  DeltaWorkerPool pool(server, 2, /*queue_capacity=*/4);
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        try {
+          auto f = pool.submit(1 + p, urls[i], docs[i],
+                               static_cast<util::SimTime>(i));
+          (void)f.get();  // must become ready: served before join
+          served.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);  // pool was already stopping
+        }
+      }
+    });
+  }
+  pool.shutdown();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(served.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(server.metrics().requests, served.load());
 }
 
 TEST(DeltaServer, FallsBackToDirectWhenDeltaUseless) {

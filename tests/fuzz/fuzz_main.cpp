@@ -1,5 +1,6 @@
-// Decoder robustness fuzzing: CBD1 deltas, VCDIFF deltas, Apache CLF
-// access-log lines, HTTP/1.1 messages, and cbde.conf files.
+// Decoder robustness fuzzing: CBD1 deltas, VCDIFF deltas, CBZ1 compressed
+// blocks, Apache CLF access-log lines, HTTP/1.1 messages, and cbde.conf
+// files.
 //
 // Every byte stream a delta-server deployment decodes crosses a trust
 // boundary, so each decoder must satisfy one contract on arbitrary input:
@@ -8,7 +9,8 @@
 // fuzz_common.hpp for the harness semantics and failure reproducers.
 //
 // Usage: cbde_fuzz [target] [iterations] [seed]
-//   target      one of cbd1|vcdiff|access_log|http|config|all (default all)
+//   target      one of cbd1|vcdiff|compress|access_log|http|config|all
+//               (default all)
 //   iterations  mutations per target (default 10000)
 //   seed        RNG seed (default 0xCBDE)
 #include <cstdlib>
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/compressor.hpp"
 #include "core/config_loader.hpp"
 #include "delta/delta.hpp"
 #include "delta/vcdiff.hpp"
@@ -89,6 +92,18 @@ DeltaCorpus make_vcdiff_corpus(std::uint64_t seed) {
     c.deltas.push_back(delta::vcdiff_encode(as_view(c.base), as_view(*t)));
   }
   return c;
+}
+
+std::vector<Bytes> make_compress_corpus(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Bytes> corpus;
+  // Huffman-coded, stored (incompressible), run-heavy, and empty streams:
+  // every CBZ1 block flavor the compressor can emit.
+  corpus.push_back(compress::compress(as_view(to_bytes(page(1, 24)))));
+  corpus.push_back(compress::compress(as_view(random_bytes(rng, 2048))));
+  corpus.push_back(compress::compress(as_view(to_bytes(std::string(4096, 'r') + "tail"))));
+  corpus.push_back(compress::compress(util::BytesView{}));
+  return corpus;
 }
 
 std::vector<Bytes> make_access_log_corpus() {
@@ -194,6 +209,18 @@ bool fuzz_vcdiff(std::uint64_t seed, std::size_t iters) {
   });
 }
 
+bool fuzz_compress(std::uint64_t seed, std::size_t iters) {
+  return run_target("compress", seed, iters, make_compress_corpus(seed),
+                    [&](BytesView input) {
+                      try {
+                        (void)compress::decompress(input);
+                        return true;
+                      } catch (const compress::CorruptInput&) {
+                        return false;
+                      }
+                    });
+}
+
 bool fuzz_access_log(std::uint64_t seed, std::size_t iters) {
   return run_target("access_log", seed, iters, make_access_log_corpus(),
                     [&](BytesView input) {
@@ -251,6 +278,7 @@ int main(int argc, char** argv) {
   };
   run("cbd1", cbde::fuzz::fuzz_cbd1);
   run("vcdiff", cbde::fuzz::fuzz_vcdiff);
+  run("compress", cbde::fuzz::fuzz_compress);
   run("access_log", cbde::fuzz::fuzz_access_log);
   run("http", cbde::fuzz::fuzz_http);
   run("config", cbde::fuzz::fuzz_config);

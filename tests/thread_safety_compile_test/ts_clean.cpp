@@ -1,0 +1,41 @@
+// Positive control for the negative-compile fixture: identical shape to
+// ts_violation.cpp, but every access holds the lock. This MUST compile
+// cleanly under -Wthread-safety -Werror=thread-safety — if it ever fails,
+// the wrapper annotations themselves broke, and thread_safety.violation's
+// "expected failure" would be meaningless.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const cbde::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  void reset() REQUIRES(mu_) { value_ = 0; }
+
+  void reset_with_lock() {
+    const cbde::LockGuard lock(mu_);
+    reset();
+  }
+
+  int value() const {
+    const cbde::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable cbde::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  c.reset_with_lock();
+  return c.value();
+}

@@ -1,0 +1,42 @@
+// Negative-compile fixture: this file MUST fail to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// It writes a GUARDED_BY field without holding the guarding mutex and calls
+// a REQUIRES function lock-free. The ctest entry thread_safety.violation
+// compiles it with WILL_FAIL, so a silent regression in the annotation
+// macros (e.g. them expanding away under Clang) turns the test red.
+//
+// Compiled with -fsyntax-only only; never linked into any target.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    const cbde::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  void bump_unlocked() {
+    ++value_;  // BAD: writing a GUARDED_BY(mu_) field without the lock
+  }
+
+  void reset() REQUIRES(mu_) { value_ = 0; }
+
+  void reset_without_lock() {
+    reset();  // BAD: calling a REQUIRES(mu_) function lock-free
+  }
+
+ private:
+  mutable cbde::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  c.reset_without_lock();
+  return 0;
+}

@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""cbde_lint: repo-specific static checks clang-tidy cannot express.
+
+Registered as ctest `lint.cbde` (and `lint.cbde_selftest`); also run by
+ci.sh over src/ tests/ bench/. Checks, each with a stable id:
+
+  raw-sync        std synchronization primitives (std mutexes, lock guards,
+                  condition variables and their headers) are banned outside
+                  src/util/thread_annotations.hpp — everything else must use
+                  the annotated cbde::Mutex / LockGuard / CondVar wrappers so
+                  Clang's -Wthread-safety can prove the lock discipline.
+  nolint-form     every NOLINT / NOLINTNEXTLINE must name its check,
+                  NOLINT(check-name), and carry a justification on the same
+                  line; blanket NOLINTBEGIN/END regions are banned.
+  banned-fn       rand / strcpy / sprintf / atoi calls (std:: or global).
+                  Use util::Rng, bounded copies, snprintf/format, strto*.
+  catch-swallow   `catch (...)` blocks must rethrow, forward the exception
+                  (set_exception), or visibly report (log/fprintf/abort);
+                  silent swallowing hides decoder-contract violations.
+  fuzz-coverage   every public decoder entry point must be exercised by a
+                  registered fuzz target: the target name must appear in
+                  tests/fuzz/CMakeLists.txt and the entry-point symbol in
+                  tests/fuzz/fuzz_main.cpp.
+
+Usage:
+  cbde_lint.py DIR [DIR...]    lint *.cpp/*.hpp/*.h under the dirs
+  cbde_lint.py --self-test     prove each check still fires on seeded
+                               violations (exits non-zero otherwise)
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+# The one file allowed to touch the raw std primitives: the annotated
+# wrapper layer itself.
+RAW_SYNC_ALLOWED = ("src/util/thread_annotations.hpp",)
+
+RAW_SYNC_TOKENS = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+BANNED_FN = re.compile(r"(?<![\w.>])(?:std::)?(rand|strcpy|sprintf|atoi)\s*\(")
+
+NOLINT_FORM = re.compile(r"NOLINT(?:NEXTLINE)?\(([A-Za-z0-9.,*-]+)\)(.*)$")
+
+# What a catch (...) body must contain to count as "not swallowing":
+# rethrow, forwarding into a promise, or a visible report. `lint:
+# swallow-ok` is the explicit, greppable escape hatch.
+CATCH_OK = re.compile(
+    r"\bthrow\b|set_exception|\blog\b|log_|_log|fprintf|abort\(|FAIL\(|"
+    r"ADD_FAILURE|lint:\s*swallow-ok"
+)
+
+# decoder entry point -> fuzz target that must cover it. The symbol must
+# appear in fuzz_main.cpp; the target name must be registered in the
+# tests/fuzz CMake foreach list so ctest actually runs it.
+FUZZ_REQUIRED = {
+    "delta::apply": "cbd1",
+    "delta::inspect": "cbd1",
+    "delta::vcdiff_apply": "vcdiff",
+    "delta::vcdiff_inspect": "vcdiff",
+    "compress::decompress": "compress",
+    "http::HttpRequest::parse": "http",
+    "http::HttpResponse::parse": "http",
+    "trace::parse_clf": "access_log",
+    "core::load_config": "config",
+}
+
+
+class Finding:
+    def __init__(self, check: str, path: Path, line: int, message: str):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def strip_code_noise(line: str) -> str:
+    """Remove string/char literals and // comments so token checks do not
+    fire on prose. Crude (no multi-line awareness) but right for this tree's
+    style, and the self-test pins the behavior."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def rel_posix(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_raw_sync(path: Path, lines: list[str], findings: list[Finding]) -> None:
+    if rel_posix(path).endswith(RAW_SYNC_ALLOWED):
+        return
+    for i, line in enumerate(lines, 1):
+        m = RAW_SYNC_TOKENS.search(strip_code_noise(line))
+        if m:
+            findings.append(Finding(
+                "raw-sync", path, i,
+                f"raw std synchronization `{m.group(0).strip()}`; use the annotated "
+                "wrappers from util/thread_annotations.hpp"))
+
+
+def check_nolint_form(path: Path, lines: list[str], findings: list[Finding]) -> None:
+    for i, line in enumerate(lines, 1):
+        if "NOLINT" not in line:
+            continue
+        if "NOLINTBEGIN" in line or "NOLINTEND" in line:
+            findings.append(Finding(
+                "nolint-form", path, i,
+                "blanket NOLINTBEGIN/NOLINTEND region; suppress single lines "
+                "with NOLINT(check-name) + justification"))
+            continue
+        at = line.find("NOLINT")
+        m = NOLINT_FORM.match(line[at:])
+        if not m:
+            findings.append(Finding(
+                "nolint-form", path, i,
+                "bare NOLINT; use NOLINT(check-name) and say why"))
+            continue
+        justification = m.group(2).strip(" \t-—:")
+        if len(justification) < 10:
+            findings.append(Finding(
+                "nolint-form", path, i,
+                f"NOLINT({m.group(1)}) without a justification on the line"))
+
+
+def check_banned_fn(path: Path, lines: list[str], findings: list[Finding]) -> None:
+    for i, line in enumerate(lines, 1):
+        for m in BANNED_FN.finditer(strip_code_noise(line)):
+            findings.append(Finding(
+                "banned-fn", path, i,
+                f"banned function `{m.group(1)}` (use util::Rng / bounded "
+                "copies / snprintf / strto*)"))
+
+
+def check_catch_swallow(path: Path, text: str, findings: list[Finding]) -> None:
+    for m in re.finditer(r"catch\s*\(\s*\.\.\.\s*\)\s*\{", text):
+        # Walk the balanced braces of the handler block.
+        depth, j = 1, m.end()
+        while j < len(text) and depth:
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+            j += 1
+        body = text[m.end():j - 1]
+        if not CATCH_OK.search(body):
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                "catch-swallow", path, line,
+                "catch (...) swallows the exception; rethrow, set_exception, "
+                "or log (or annotate `// lint: swallow-ok <reason>`)"))
+
+
+def check_fuzz_coverage(root: Path, findings: list[Finding]) -> None:
+    cmake = root / "tests/fuzz/CMakeLists.txt"
+    main = root / "tests/fuzz/fuzz_main.cpp"
+    if not cmake.is_file() or not main.is_file():
+        findings.append(Finding(
+            "fuzz-coverage", cmake, 1, "fuzz harness missing (tests/fuzz/)"))
+        return
+    cmake_text = cmake.read_text(encoding="utf-8")
+    targets: set[str] = set()
+    m = re.search(r"foreach\s*\(\s*fuzz_target\s+([^)]*)\)", cmake_text)
+    if m:
+        targets = set(m.group(1).split())
+    main_text = main.read_text(encoding="utf-8")
+    for symbol, target in sorted(FUZZ_REQUIRED.items()):
+        if target not in targets:
+            findings.append(Finding(
+                "fuzz-coverage", cmake, 1,
+                f"decoder entry point {symbol} requires fuzz target "
+                f"'{target}' in the ctest foreach list"))
+        if symbol not in main_text:
+            findings.append(Finding(
+                "fuzz-coverage", main, 1,
+                f"decoder entry point {symbol} is not exercised by "
+                "fuzz_main.cpp"))
+
+
+def lint_paths(dirs: list[Path], root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    files: list[Path] = []
+    for d in dirs:
+        if d.is_file():
+            files.append(d)
+        else:
+            files.extend(p for p in sorted(d.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES and p.is_file())
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        check_raw_sync(path, lines, findings)
+        check_nolint_form(path, lines, findings)
+        check_banned_fn(path, lines, findings)
+        check_catch_swallow(path, text, findings)
+    check_fuzz_coverage(root, findings)
+    return findings
+
+
+# ----------------------------------------------------------------- self-test
+
+SEEDED_VIOLATIONS = {
+    "raw-sync": "#include <mutex>\nstd::mutex naked_mu;\n",
+    "nolint-form": "int x = get();  // NOLINT\n"
+                   "int y = get();  // NOLINT(cert-err34-c)\n"
+                   "// NOLINTBEGIN(bugprone-*)\n",
+    "banned-fn": "int pick() { return rand() % 6; }\n"
+                 "void copy(char* d, const char* s) { strcpy(d, s); }\n",
+    "catch-swallow": "void f() { try { g(); } catch (...) { } }\n",
+}
+
+SEEDED_CLEAN = (
+    '#include "util/thread_annotations.hpp"\n'
+    "// a comment mentioning strcpy( is fine, as is this string:\n"
+    'const char* s = "sprintf(";\n'
+    "int z = get();  // NOLINT(cert-err34-c) value range pre-checked above\n"
+    "void f() { try { g(); } catch (...) { std::fprintf(stderr, \"x\\n\"); } }\n"
+    "void h() { try { g(); } catch (...) { throw; } }\n"
+)
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="cbde_lint_selftest") as tmp:
+        tmpdir = Path(tmp)
+        # Each violation class, alone in a file, must be caught — i.e. a
+        # lint run over that file exits non-zero for that check.
+        for check, source in SEEDED_VIOLATIONS.items():
+            f = tmpdir / f"{check.replace('-', '_')}.cpp"
+            f.write_text(source, encoding="utf-8")
+            found = [x for x in lint_paths([f], REPO_ROOT) if x.check == check]
+            if not found:
+                print(f"self-test FAIL: seeded {check} violation not detected")
+                failures += 1
+            f.unlink()
+        # The clean file must produce no findings (fuzz-coverage runs against
+        # the real repo and must also be clean).
+        clean = tmpdir / "clean.cpp"
+        clean.write_text(SEEDED_CLEAN, encoding="utf-8")
+        extra = lint_paths([clean], REPO_ROOT)
+        for x in extra:
+            print(f"self-test FAIL: false positive: {x}")
+            failures += 1
+        # fuzz-coverage must fire when a target is missing from the list.
+        fake = tmpdir / "tests/fuzz"
+        fake.mkdir(parents=True)
+        (fake / "CMakeLists.txt").write_text(
+            "foreach(fuzz_target cbd1 vcdiff)\nendforeach()\n", encoding="utf-8")
+        (fake / "fuzz_main.cpp").write_text(
+            "// calls delta::apply only\n", encoding="utf-8")
+        cov: list[Finding] = []
+        check_fuzz_coverage(tmpdir, cov)
+        if not any(x.check == "fuzz-coverage" for x in cov):
+            print("self-test FAIL: seeded fuzz-coverage gap not detected")
+            failures += 1
+    if failures:
+        print(f"cbde_lint self-test: {failures} failure(s)")
+        return 1
+    print("cbde_lint self-test: all violation classes detected, no false positives")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    dirs = [Path(a) for a in argv[1:]]
+    for d in dirs:
+        if not d.exists():
+            print(f"cbde_lint: no such path: {d}", file=sys.stderr)
+            return 2
+    findings = lint_paths(dirs, REPO_ROOT)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"cbde_lint: {len(findings)} finding(s)")
+        return 1
+    print("cbde_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
