@@ -9,12 +9,17 @@
 //     with 1 and 4 workers — ns/request and the multi-thread speedup.
 //
 // Flags:
-//   --smoke      tiny corpus / few iterations (CI sanity run, < 1 s)
-//   --out PATH   where to write the JSON (default: BENCH_delta.json)
+//   --smoke              tiny corpus / few iterations (CI sanity run, < 1 s)
+//   --out PATH           where to write the JSON (default: BENCH_delta.json)
+//   --metrics-out PATH   dump the end-to-end run's metrics registry in
+//                        Prometheus text exposition format
+//   --metrics-json PATH  same snapshot as JSON
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "core/delta_server.hpp"
 #include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
+#include "obs/obs.hpp"
 #include "trace/site.hpp"
 #include "util/hash.hpp"
 
@@ -109,12 +115,14 @@ struct EndToEndResult {
 /// creates the classes and publishes bases, then `requests` timed requests
 /// fan out over `workers` threads.
 EndToEndResult run_end_to_end(const trace::SiteModel& site, std::size_t workers,
-                              std::size_t requests) {
+                              std::size_t requests,
+                              std::shared_ptr<obs::Obs> obs_instance = nullptr) {
   core::DeltaServerConfig config;
   config.anonymize = false;  // steady state: every request is grouped+encoded
   config.selector.sample_prob = 0.05;
   config.rebase_timeout = 1000000 * util::kSecond;
   config.basic_rebase_after = 1 << 20;
+  config.obs_instance = std::move(obs_instance);
 
   http::RuleBook rules;
   rules.add_rule(site.config().host, site.partition_rule());
@@ -177,13 +185,22 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string out_path = "BENCH_delta.json";
+  std::string metrics_out;
+  std::string metrics_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH] [--metrics-out PATH]"
+                   " [--metrics-json PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -285,6 +302,52 @@ int main(int argc, char** argv) {
   }
   json.close();  // micro
 
+  // Observability overhead on the smoke encode loop: the same cached encode
+  // bare, then wrapped with everything serve() adds per request (two clock
+  // reads, two histogram observes, a counter and a double-counter). Under a
+  // CBDE_OBS_OFF build the wrapped loop degenerates to the bare one (clock
+  // reads return 0, observes compile out), so comparing `overhead_pct`
+  // across the two build flavors in BENCH_delta.json captures the full
+  // instrumented-vs-compiled-out cost. Min-of-rounds damps scheduler noise.
+  {
+    obs::Obs bench_obs;
+    obs::Counter& reqs =
+        bench_obs.registry().counter("cbde_bench_requests_total", "Benchmark ops");
+    obs::DoubleCounter& cpu = bench_obs.registry().double_counter(
+        "cbde_bench_cpu_microseconds_total", "Benchmark modeled CPU");
+    obs::Histogram& lat = bench_obs.histogram("cbde_bench_encode_latency_microseconds",
+                                              "Benchmark encode latency");
+    obs::Histogram& sz =
+        bench_obs.histogram("cbde_bench_delta_size_bytes", "Benchmark delta size");
+    std::size_t sink = 0;
+    double bare_ns = 0, instr_ns = 0;
+    for (int round = 0; round < 3; ++round) {
+      const double b = time_op(1, iters, [&] {
+        sink = cached.encode(util::as_view(cross)).delta.size();
+      });
+      const double in = time_op(1, iters, [&] {
+        const std::uint64_t t0 = obs::now_us();
+        sink = cached.encode(util::as_view(cross)).delta.size();
+        lat.observe(obs::now_us() - t0);
+        sz.observe(sink);
+        reqs.inc();
+        cpu.add(1.5);
+      });
+      bare_ns = round == 0 ? b : std::min(bare_ns, b);
+      instr_ns = round == 0 ? in : std::min(instr_ns, in);
+    }
+    const double overhead_pct =
+        bare_ns <= 0 ? 0.0 : (instr_ns - bare_ns) / bare_ns * 100.0;
+    json.open("obs");
+    json.field("compiled_out", static_cast<std::size_t>(obs::kCompiledOut ? 1 : 0));
+    json.field("encode_bare_ns", bare_ns);
+    json.field("encode_instrumented_ns", instr_ns);
+    json.field("overhead_pct", overhead_pct);
+    json.close();
+    std::printf("%-28s %12.2f%%  (bare %.0f ns, instrumented %.0f ns, sink %zu)\n",
+                "obs_overhead", overhead_pct, bare_ns, instr_ns, sink);
+  }
+
   // End-to-end: full serve() path (grouping + encode + compress) through
   // the worker pool.
   trace::SiteConfig sconfig;
@@ -293,10 +356,16 @@ int main(int argc, char** argv) {
   sconfig.doc_template = sized_template(page);
   const trace::SiteModel site(sconfig);
 
+  // One shared telemetry domain across the worker-count runs so the
+  // --metrics-out snapshot aggregates the whole end-to-end section.
+  obs::ObsConfig e2e_obs_config;
+  e2e_obs_config.sample_rate = 0.01;
+  auto e2e_obs = std::make_shared<obs::Obs>(e2e_obs_config);
+
   json.open("end_to_end");
   double ns_1 = 0;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
-    const EndToEndResult r = run_end_to_end(site, workers, e2e_requests);
+    const EndToEndResult r = run_end_to_end(site, workers, e2e_requests, e2e_obs);
     const std::string key = "workers_" + std::to_string(workers);
     json.open(key);
     json.field("ns_per_request", r.ns_per_request);
@@ -312,6 +381,25 @@ int main(int argc, char** argv) {
     }
   }
   json.close();  // end_to_end
+
+  if (!metrics_out.empty()) {
+    std::ofstream prom(metrics_out);
+    if (!prom) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    prom << e2e_obs->registry().prometheus();
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  if (!metrics_json.empty()) {
+    std::ofstream mjson(metrics_json);
+    if (!mjson) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    mjson << e2e_obs->registry().json() << "\n";
+    std::printf("wrote %s\n", metrics_json.c_str());
+  }
 
   std::ofstream out(out_path);
   if (!out) {

@@ -33,16 +33,43 @@ ctest --preset asan-ubsan -j "$JOBS"
 echo "== threaded stress under TSan (DeltaServerPool) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS" --target cbde_tests
-ctest --preset tsan -R DeltaServerPool --output-on-failure
+ctest --preset tsan -R 'DeltaServerPool|ObsConcurrency' --output-on-failure
 
 echo "== perf harness smoke (bench_perf_report --smoke) =="
 cmake --build --preset asan-ubsan -j "$JOBS" --target bench_perf_report
 BENCH_JSON="build/asan-ubsan/BENCH_delta.json"
-./build/asan-ubsan/bench/bench_perf_report --smoke --out "$BENCH_JSON"
-for key in encode_cached_cross speedup_4v1 hardware_concurrency; do
+PROM_OUT="build/asan-ubsan/metrics.prom"
+./build/asan-ubsan/bench/bench_perf_report --smoke --out "$BENCH_JSON" \
+  --metrics-out "$PROM_OUT" --metrics-json "build/asan-ubsan/metrics.json"
+for key in encode_cached_cross speedup_4v1 hardware_concurrency overhead_pct; do
   grep -q "\"$key\"" "$BENCH_JSON" ||
     { echo "ci.sh: $BENCH_JSON missing key $key" >&2; exit 1; }
 done
+
+echo "== obs: exposition validity + metric catalog + overhead gate =="
+# The smoke run above replayed the end-to-end workload with obs enabled and
+# dumped its registry; the snapshot must parse and carry populated
+# histograms (encode latency, queue wait, delta size at minimum).
+if command -v promtool >/dev/null 2>&1; then
+  promtool check metrics < "$PROM_OUT"
+else
+  echo "== NOTE: promtool not installed — falling back to tools/obs/validate_metrics.py ==" >&2
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/obs/validate_metrics.py --prom "$PROM_OUT" --min-histograms 3 \
+    --catalog docs/OBSERVABILITY.md --sources src bench
+  python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    obs = json.load(f)["obs"]
+pct = obs["overhead_pct"]
+if not obs.get("compiled_out") and pct >= 3.0:
+    sys.exit(f"ci.sh: obs overhead {pct:.2f}% >= 3% budget")
+print(f"obs overhead {pct:.2f}% (< 3% budget)")
+EOF
+else
+  echo "== SKIPPED: python3 not installed — obs exposition/catalog gate NOT run ==" >&2
+fi
 
 if [ "${1:-}" = "--fast" ]; then
   echo "== Clang stages skipped (--fast): thread-safety analysis, clang-tidy =="

@@ -37,6 +37,7 @@ void Anonymizer::begin(util::Bytes base, std::uint64_t owner_user) {
       (encoder_->base().size() + delta::kAnonChunkSize - 1) / delta::kAnonChunkSize, 0);
   users_.clear();
   in_progress_ = true;
+  if (instr_.begins != nullptr) instr_.begins->inc();
 }
 
 const util::Bytes& Anonymizer::pending_base() const {
@@ -48,6 +49,7 @@ bool Anonymizer::observe(std::uint64_t user_id, util::BytesView doc) {
   if (!in_progress_ || ready()) return false;
   if (user_id == owner_ || users_.contains(user_id)) return false;
   users_.insert(user_id);
+  if (instr_.docs_observed != nullptr) instr_.docs_observed->inc();
   const auto result = encoder_->encode(doc);
   CBDE_ASSERT(result.chunk_used.size() == counters_.size());
   for (std::size_t c = 0; c < counters_.size(); ++c) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "delta/delta.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/bytes.hpp"
 
 namespace cbde::core {
@@ -27,6 +28,13 @@ struct AnonymizerConfig {
   std::size_t min_common = 2;    ///< M — chunk kept if common with >= M docs
   std::size_t required_docs = 5; ///< N — documents (distinct users) to observe
   delta::DeltaParams delta_params = delta::DeltaParams::full();
+};
+
+/// Shared registry counters (per-class anonymizers all point at the owning
+/// DeltaServer's handles, so counts aggregate). All-null (default) = no-op.
+struct AnonymizerInstruments {
+  obs::Counter* begins = nullptr;         ///< anonymization processes started
+  obs::Counter* docs_observed = nullptr;  ///< documents counted toward N
 };
 
 class Anonymizer {
@@ -53,6 +61,7 @@ class Anonymizer {
   util::Bytes finalize();
 
   std::size_t users_observed() const { return users_.size(); }
+  void set_instruments(const AnonymizerInstruments& instr) { instr_ = instr; }
   const util::Bytes& pending_base() const;
   const std::vector<std::uint32_t>& counters() const { return counters_; }
   const AnonymizerConfig& config() const { return config_; }
@@ -66,6 +75,7 @@ class Anonymizer {
   std::uint64_t owner_ = 0;
   std::vector<std::uint32_t> counters_;
   std::unordered_set<std::uint64_t> users_;
+  AnonymizerInstruments instr_;
 };
 
 /// Standalone form of the §V algorithm: anonymize `base` against `docs`

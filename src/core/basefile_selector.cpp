@@ -16,12 +16,14 @@ BaseFileSelector::BaseFileSelector(SelectorConfig config, std::uint64_t seed)
 
 void BaseFileSelector::observe(util::BytesView doc) {
   ++stats_.observed;
+  if (instr_.observed != nullptr) instr_.observed->inc();
   if (!rng_.bernoulli(config_.sample_prob)) return;
   admit(doc);
 }
 
 void BaseFileSelector::admit(util::BytesView doc) {
   ++stats_.sampled;
+  if (instr_.sampled != nullptr) instr_.sampled->inc();
   if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
     insert_reference(doc);
   }
@@ -98,6 +100,7 @@ std::size_t BaseFileSelector::best_index() const {
 
 void BaseFileSelector::evict_candidate() {
   ++stats_.evictions;
+  if (instr_.evictions != nullptr) instr_.evictions->inc();
   const bool random_turn =
       config_.eviction == SelectorConfig::Eviction::kPeriodicRandom &&
       stats_.evictions % config_.random_evict_period == 0;

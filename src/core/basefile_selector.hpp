@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "delta/delta.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,15 @@ struct SelectorStats {
   std::uint64_t sampled = 0;
   std::uint64_t evictions = 0;
   std::uint64_t random_evictions = 0;
+};
+
+/// Shared registry counters a selector mirrors its stats into. Selectors
+/// are per-class; the owning DeltaServer hands every class the same handles
+/// so the counters aggregate across classes. All-null (default) = no-op.
+struct SelectorInstruments {
+  obs::Counter* observed = nullptr;
+  obs::Counter* sampled = nullptr;
+  obs::Counter* evictions = nullptr;
 };
 
 class BaseFileSelector {
@@ -75,6 +85,8 @@ class BaseFileSelector {
   std::size_t stored_bytes() const;
   const SelectorStats& stats() const { return stats_; }
 
+  void set_instruments(const SelectorInstruments& instr) { instr_ = instr; }
+
  private:
   void insert_candidate(util::BytesView doc);
   void insert_reference(util::BytesView doc);  // kTwoSet only
@@ -97,6 +109,7 @@ class BaseFileSelector {
   std::vector<std::vector<double>> score_matrix_;
   std::vector<util::Bytes> references_;  // kTwoSet only
   SelectorStats stats_;
+  SelectorInstruments instr_;
 };
 
 /// Common interface for the Table III base-file policies: each observes the

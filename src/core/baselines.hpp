@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -34,15 +35,21 @@ struct BaselineCounters {
   std::uint64_t direct_bytes = 0;  ///< what full transfer would have sent
   std::uint64_t wire_bytes = 0;    ///< what this scheme actually sends
 
+  // Zero-denominator convention matches core::PipelineMetrics so baseline
+  // and pipeline numbers are directly comparable (see metrics.hpp):
+  // neutral (0 savings, factor 1) only when *both* sides are zero;
+  // -inf / 0 for pure overhead; 1 / +inf when everything was saved.
   double savings() const {
-    return direct_bytes == 0
-               ? 0.0
-               : 1.0 - static_cast<double>(wire_bytes) / static_cast<double>(direct_bytes);
+    if (direct_bytes == 0) {
+      return wire_bytes == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+    }
+    return 1.0 - static_cast<double>(wire_bytes) / static_cast<double>(direct_bytes);
   }
   double reduction_factor() const {
-    return wire_bytes == 0 ? 0.0
-                           : static_cast<double>(direct_bytes) /
-                                 static_cast<double>(wire_bytes);
+    if (wire_bytes == 0) {
+      return direct_bytes == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(direct_bytes) / static_cast<double>(wire_bytes);
   }
 };
 

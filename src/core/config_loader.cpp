@@ -133,6 +133,19 @@ LoadedConfig load_config(std::istream& in) {
         server.published_history = parse_u64(value, line_no);
       } else if (key == "seed") {
         server.seed = parse_u64(value, line_no);
+      } else if (key == "obs-sample-rate") {
+        server.obs.sample_rate = parse_double(value, line_no);
+        if (server.obs.sample_rate < 0.0 || server.obs.sample_rate > 1.0) {
+          fail(line_no, "obs-sample-rate must be in [0, 1]");
+        }
+      } else if (key == "obs-histogram-buckets") {
+        server.obs.histogram_sub_buckets = parse_u64(value, line_no);
+        const std::size_t s = server.obs.histogram_sub_buckets;
+        if (s == 0 || s > 64 || (s & (s - 1)) != 0) {
+          fail(line_no, "obs-histogram-buckets must be a power of two in [1, 64]");
+        }
+      } else if (key == "obs-event-log") {
+        server.obs.event_log_path = value;
       } else if (key == "base-store") {
         if (value == "memory") {
           out.disk_store.reset();
@@ -204,6 +217,13 @@ rebase-timeout-s = 120     # minimum seconds between group-rebases
 anonymizer-m     = 2       # M: chunk kept if common with >= M documents
 anonymizer-n     = 5       # N: documents observed before publication
 base-store       = memory  # or disk:/var/lib/cbde/bases
+
+# Observability (docs/OBSERVABILITY.md): per-request trace sampling rate,
+# histogram resolution (log-linear sub-buckets per octave, power of two),
+# and an optional JSONL sink for the structured event log.
+obs-sample-rate       = 0.01
+obs-histogram-buckets = 4
+# obs-event-log       = /var/log/cbde/events.jsonl
 
 # Transmission delta tuning (defaults are the Vdelta full parameterization;
 # ranges are checked at load time).

@@ -11,7 +11,81 @@ DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
       rules_(std::move(rules)),
       store_(store ? std::move(store) : std::make_unique<MemoryBaseStore>()),
       classes_(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      obs_(config.obs_instance ? config.obs_instance
+                               : std::make_shared<obs::Obs>(config.obs)) {
+  // Registry instruments are the storage behind PipelineMetrics (metrics()
+  // derives from these handles), so register them unconditionally. Names
+  // follow cbde_<layer>_<name>[_unit] — tools/lint/cbde_lint.py enforces the
+  // shape, docs/OBSERVABILITY.md holds the catalog.
+  auto& reg = obs_->registry();
+  instr_.requests =
+      &reg.counter("cbde_server_requests_total", "Requests served");
+  instr_.direct_responses = &reg.counter("cbde_server_direct_responses_total",
+                                         "Responses sent as the full document");
+  instr_.delta_responses = &reg.counter("cbde_server_delta_responses_total",
+                                        "Responses sent as a compressed delta");
+  instr_.direct_bytes =
+      &reg.counter("cbde_server_direct_bytes_total",
+                   "Bytes a full-transfer server would have sent (Direct KB)");
+  instr_.wire_bytes = &reg.counter("cbde_server_wire_bytes_total",
+                                   "Response bytes actually sent (Delta KB)");
+  instr_.base_wire_bytes =
+      &reg.counter("cbde_server_base_wire_bytes_total",
+                   "Base-file distribution bytes charged to the server");
+  instr_.group_rebases =
+      &reg.counter("cbde_server_group_rebases_total", "Group-rebases (§IV)");
+  instr_.basic_rebases =
+      &reg.counter("cbde_server_basic_rebases_total", "Basic-rebases (§IV)");
+  instr_.anonymizations = &reg.counter("cbde_server_anonymizations_total",
+                                       "Anonymization processes completed (§V)");
+  instr_.classes_created =
+      &reg.counter("cbde_server_classes_created_total", "Classes created");
+  instr_.delta_fallbacks = &reg.counter(
+      "cbde_server_delta_fallbacks_total",
+      "Deltas discarded for being no smaller than the document itself");
+  instr_.cpu_us = &reg.double_counter("cbde_server_cpu_microseconds_total",
+                                      "Modeled delta-server CPU (§VI-C)");
+  instr_.classes = &reg.gauge("cbde_server_classes", "Live classes");
+  instr_.storage =
+      &reg.gauge("cbde_server_storage_bytes",
+                 "Server-side footprint as of the last storage_bytes() audit");
+  instr_.encode_latency =
+      &obs_->histogram("cbde_server_encode_latency_microseconds",
+                       "Wall time of one delta encode against the published base");
+  instr_.delta_size = &obs_->histogram("cbde_server_delta_size_bytes",
+                                       "Uncompressed delta size per delta response");
+  instr_.doc_size = &obs_->histogram("cbde_server_doc_size_bytes",
+                                     "Full document size per request");
+  instr_.selector.observed =
+      &reg.counter("cbde_selector_observed_total",
+                   "Documents shown to the base-file selectors (§IV)");
+  instr_.selector.sampled = &reg.counter("cbde_selector_sampled_total",
+                                         "Documents admitted as base candidates");
+  instr_.selector.evictions =
+      &reg.counter("cbde_selector_evictions_total", "Candidate evictions");
+  instr_.anonymizer.begins = &reg.counter("cbde_anonymizer_begins_total",
+                                          "Anonymization processes started (§V)");
+  instr_.anonymizer.docs_observed =
+      &reg.counter("cbde_anonymizer_docs_observed_total",
+                   "Documents counted toward an anonymization's N");
+}
+
+PipelineMetrics DeltaServer::metrics() const {
+  const LockGuard lock(mu_);
+  PipelineMetrics m;
+  m.requests = instr_.requests->value();
+  m.direct_responses = instr_.direct_responses->value();
+  m.delta_responses = instr_.delta_responses->value();
+  m.direct_bytes = instr_.direct_bytes->value();
+  m.wire_bytes = instr_.wire_bytes->value();
+  m.base_wire_bytes = instr_.base_wire_bytes->value();
+  m.group_rebases = instr_.group_rebases->value();
+  m.basic_rebases = instr_.basic_rebases->value();
+  m.anonymizations_completed = instr_.anonymizations->value();
+  m.cpu_us_total = instr_.cpu_us->value();
+  return m;
+}
 
 DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
   auto it = states_.find(id);
@@ -19,6 +93,8 @@ DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
     it = states_
              .emplace(id, std::make_unique<ClassState>(config_, rng_.next_u64()))
              .first;
+    it->second->selector.set_instruments(instr_.selector);
+    it->second->anonymizer.set_instruments(instr_.anonymizer);
   }
   return *it->second;
 }
@@ -35,7 +111,7 @@ void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime n
     cls.transmit_encoder = std::make_shared<const delta::Encoder>(
         cls.working_encoder->base(), config_.transmit_params);
     ++cls.published_version;
-    record_publication(id, cls);
+    record_publication(id, cls, now);
     cls.last_group_rebase = now;
     return;
   }
@@ -48,24 +124,34 @@ void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
   cls.transmit_encoder = std::make_shared<const delta::Encoder>(
       cls.anonymizer.finalize(), config_.transmit_params);
   ++cls.published_version;
-  record_publication(id, cls);
+  record_publication(id, cls, now);
   cls.last_group_rebase = now;
-  ++metrics_.anonymizations_completed;
+  instr_.anonymizations->inc();
+  obs_->emit(obs::EventKind::kAnonymizationComplete, now, id,
+             {{"version", std::to_string(cls.published_version)}});
 }
 
-void DeltaServer::record_publication(ClassId id, ClassState& cls) {
+void DeltaServer::record_publication(ClassId id, ClassState& cls, util::SimTime now) {
   store_->put(id, cls.published_version, util::as_view(cls.transmit_encoder->base()));
   cls.retained_versions.push_back(cls.published_version);
   while (cls.retained_versions.size() > config_.published_history) {
     store_->erase(id, cls.retained_versions.front());
     cls.retained_versions.erase(cls.retained_versions.begin());
   }
+  obs_->emit(obs::EventKind::kBasePublished, now, id,
+             {{"version", std::to_string(cls.published_version)},
+              {"size", std::to_string(cls.transmit_encoder->base().size())}});
 }
 
 ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
-                                  util::BytesView doc, util::SimTime now) {
+                                  util::BytesView doc, util::SimTime now,
+                                  std::shared_ptr<obs::TraceContext> trace) {
   ServedResponse out;
   out.doc_size = doc.size();
+  if (trace == nullptr) trace = obs_->maybe_trace();
+  obs::TraceContext* tc = trace.get();
+  obs::Span serve_span(tc, "serve");
+  instr_.doc_size->observe(doc.size());
 
   // Phase 1 — locked: bookkeeping, grouping, selector/anonymizer feeding,
   // publication progress; ends by snapshotting the class's published-base
@@ -74,9 +160,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
   std::shared_ptr<const delta::Encoder> transmit;
   std::uint32_t snap_version = 0;
   {
+    obs::Span group_span(tc, "group");
     const LockGuard lock(mu_);
-    ++metrics_.requests;
-    metrics_.direct_bytes += doc.size();
+    instr_.requests->inc();
+    instr_.direct_bytes->add(doc.size());
 
     // Classless-storage bookkeeping: basic delta-encoding would store one
     // base-file per (user, URL).
@@ -105,6 +192,16 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     out.class_id = decision.id;
     out.class_created = decision.created;
     out.grouping_tries = decision.tries;
+    group_span.tag("class", std::to_string(decision.id));
+    group_span.tag("created", decision.created ? "true" : "false");
+    group_span.tag("tries", std::to_string(decision.tries));
+    if (decision.created) {
+      instr_.classes_created->inc();
+      instr_.classes->set(static_cast<std::int64_t>(classes_.num_classes()));
+      obs_->emit(obs::EventKind::kClassCreated, now, decision.id,
+                 {{"user", std::to_string(user_id)},
+                  {"tries", std::to_string(decision.tries)}});
+    }
 
     ClassState& cls = state_of(decision.id);
     cls_ptr = &cls;
@@ -136,24 +233,36 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
   util::Bytes delta_wire;
   bool large_delta = false;
   if (serve_delta) {
+    obs::Span encode_span(tc, "encode");
+    const std::uint64_t encode_start = obs::now_us();
     auto encoded = transmit->encode(doc);
+    instr_.encode_latency->observe(obs::now_us() - encode_start);
     out.delta_size = encoded.delta.size();
+    instr_.delta_size->observe(encoded.delta.size());
     out.cpu_us += config_.cpu.cost(transmit->base().size(), doc.size(),
                                    encoded.delta.size());
     large_delta = static_cast<double>(out.delta_size) >
                   config_.basic_rebase_ratio * static_cast<double>(doc.size());
+    encode_span.tag("delta_bytes", std::to_string(encoded.delta.size()));
+    encode_span.end();
+    obs::Span compress_span(tc, "compress");
     delta_wire = config_.compress_deltas
                      ? compress::compress(util::as_view(encoded.delta),
                                           config_.compress_params)
                      : std::move(encoded.delta);
+    compress_span.tag("wire_bytes", std::to_string(delta_wire.size()));
     // A delta larger than the document itself is useless; fall back.
-    if (delta_wire.size() >= doc.size()) serve_delta = false;
+    if (delta_wire.size() >= doc.size()) {
+      serve_delta = false;
+      instr_.delta_fallbacks->inc();
+    }
   } else {
     out.cpu_us += config_.cpu.fixed_us;
   }
 
   // Phase 3 — locked: commit the response, then the rebase decisions.
   {
+    obs::Span commit_span(tc, "commit");
     const LockGuard lock(mu_);
     ClassState& cls = *cls_ptr;
     if (serve_delta) {
@@ -168,15 +277,15 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
       }
       out.wire_body = std::move(delta_wire);
       out.wire_compressed = config_.compress_deltas;
-      ++metrics_.delta_responses;
+      instr_.delta_responses->inc();
     } else {
       out.mode = ServedResponse::Mode::kDirect;
       out.wire_body.assign(doc.begin(), doc.end());
-      ++metrics_.direct_responses;
+      instr_.direct_responses->inc();
     }
-    metrics_.wire_bytes += out.wire_body.size();
-    if (out.base_needed) metrics_.base_wire_bytes += out.base_size;
-    metrics_.cpu_us_total += out.cpu_us;
+    instr_.wire_bytes->add(out.wire_body.size());
+    if (out.base_needed) instr_.base_wire_bytes->add(out.base_size);
+    instr_.cpu_us->add(out.cpu_us);
 
     // 4. Basic-rebase: consecutive relatively-large deltas flush the class.
     if (cls.published_version > 0) {
@@ -189,7 +298,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
         cls.selector.admit(doc);
         start_publication(out.class_id, cls, now);
         out.basic_rebase = true;
-        ++metrics_.basic_rebases;
+        instr_.basic_rebases->inc();
+        obs_->emit(obs::EventKind::kBasicRebase, now, out.class_id,
+                   {{"delta_size", std::to_string(out.delta_size)},
+                    {"doc_size", std::to_string(out.doc_size)}});
       }
     }
 
@@ -202,12 +314,24 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
         cls.working_owner = user_id;  // conservatively exclude the requester
         start_publication(out.class_id, cls, now);
         out.group_rebase = true;
-        ++metrics_.group_rebases;
+        instr_.group_rebases->inc();
+        obs_->emit(obs::EventKind::kGroupRebase, now, out.class_id,
+                   {{"base_size", std::to_string(best->size())}});
         // Avoid immediate re-trigger while the new base awaits anonymization.
         cls.last_group_rebase = now;
       }
     }
+    commit_span.tag("mode",
+                    out.mode == ServedResponse::Mode::kDelta ? "delta" : "direct");
+    if (out.group_rebase) commit_span.tag("group_rebase", "true");
+    if (out.basic_rebase) commit_span.tag("basic_rebase", "true");
   }
+  serve_span.tag("class", std::to_string(out.class_id));
+  serve_span.tag("bytes_in", std::to_string(out.doc_size));
+  serve_span.tag("bytes_out", std::to_string(out.wire_body.size()));
+  if (out.base_needed) serve_span.tag("base_bytes", std::to_string(out.base_size));
+  serve_span.end();
+  out.trace = std::move(trace);
   return out;
 }
 
@@ -262,6 +386,9 @@ std::size_t DeltaServer::storage_bytes() const {
     // Selector samples are part of the server-side footprint too.
     total += cls->selector.stored_bytes();
   }
+  // The gauge mirrors the last audit; per-request maintenance would cost a
+  // full class walk on the hot path for a number only scrapes care about.
+  instr_.storage->set(static_cast<std::int64_t>(total));
   return total;
 }
 

@@ -30,6 +30,7 @@
 #include "core/metrics.hpp"
 #include "compress/compressor.hpp"
 #include "http/partition.hpp"
+#include "obs/obs.hpp"
 #include "util/clock.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -73,6 +74,13 @@ struct DeltaServerConfig {
   std::size_t published_history = 3;
   DeltaCpuModel cpu;
   std::uint64_t seed = 7;
+  /// Observability domain settings (sampling rate, histogram resolution,
+  /// event-log sink); used only when `obs_instance` is null.
+  obs::ObsConfig obs;
+  /// Share one telemetry domain across a serving stack (server + worker
+  /// pool + proxy cache): the pipeline sets this so every layer registers
+  /// into the same registry. Null = the server creates its own from `obs`.
+  std::shared_ptr<obs::Obs> obs_instance;
 };
 
 struct ServedResponse {
@@ -97,6 +105,10 @@ struct ServedResponse {
   bool group_rebase = false;
   bool basic_rebase = false;
   double cpu_us = 0;
+
+  /// Trace of this request when it was sampled (Obs::maybe_trace), null
+  /// otherwise. Spans are closed by the time serve() returns.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 class DeltaServer {
@@ -116,8 +128,14 @@ class DeltaServer {
   /// then locked commit (metrics, client versions, rebase decisions). The
   /// snapshot means a concurrent rebase can never invalidate an in-flight
   /// encode; the delta is simply against the version the response reports.
+  /// `trace` carries an already-sampled trace context (the worker pool
+  /// passes the one it opened at submit time, so queue wait and serve stages
+  /// land in the same trace); null lets serve() make its own sampling
+  /// decision via Obs::maybe_trace().
   ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
-                       util::SimTime now) EXCLUDES(mu_);
+                       util::SimTime now,
+                       std::shared_ptr<obs::TraceContext> trace = nullptr)
+      EXCLUDES(mu_);
 
   /// Published (client-visible) base-file of a class, if any.
   struct PublishedBase {
@@ -135,11 +153,17 @@ class DeltaServer {
   /// while workers are serving.
   const BaseStore& base_store() const { return *store_; }
 
-  /// Consistent snapshot of the pipeline counters.
-  PipelineMetrics metrics() const EXCLUDES(mu_) {
-    LockGuard lock(mu_);
-    return metrics_;
-  }
+  /// Consistent snapshot of the pipeline counters, derived from the
+  /// observability registry (the registry instruments are the storage, so
+  /// PipelineMetrics and a Prometheus scrape can never drift apart). Every
+  /// increment happens while mu_ is held, so taking mu_ here yields a
+  /// cross-metric-consistent snapshot.
+  PipelineMetrics metrics() const EXCLUDES(mu_);
+
+  /// The telemetry domain this server records into (shared with the worker
+  /// pool / pipeline when DeltaServerConfig::obs_instance was set).
+  obs::Obs& obs() const { return *obs_; }
+  std::shared_ptr<obs::Obs> obs_ptr() const { return obs_; }
   /// Consistent snapshot of the grouping statistics (§III instrumentation).
   GroupingStats grouping_stats() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
@@ -199,12 +223,42 @@ class DeltaServer {
         : selector(config.selector, seed), anonymizer(config.anonymizer) {}
   };
 
+  /// Handles into the obs registry backing PipelineMetrics plus the serve
+  /// latency/size distributions. Pointers are set once in the constructor
+  /// and immutable after; the instruments themselves are atomic. All
+  /// PipelineMetrics-backing counters are incremented with mu_ held so
+  /// metrics() snapshots stay cross-metric consistent (the histograms are
+  /// observed unlocked — they are distributions, not ledger entries).
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* direct_responses = nullptr;
+    obs::Counter* delta_responses = nullptr;
+    obs::Counter* direct_bytes = nullptr;
+    obs::Counter* wire_bytes = nullptr;
+    obs::Counter* base_wire_bytes = nullptr;
+    obs::Counter* group_rebases = nullptr;
+    obs::Counter* basic_rebases = nullptr;
+    obs::Counter* anonymizations = nullptr;
+    obs::Counter* classes_created = nullptr;
+    obs::Counter* delta_fallbacks = nullptr;
+    obs::DoubleCounter* cpu_us = nullptr;
+    obs::Gauge* classes = nullptr;
+    obs::Gauge* storage = nullptr;
+    obs::Histogram* encode_latency = nullptr;
+    obs::Histogram* delta_size = nullptr;
+    obs::Histogram* doc_size = nullptr;
+    /// Handed to every per-class selector/anonymizer, so their counts
+    /// aggregate across classes.
+    SelectorInstruments selector;
+    AnonymizerInstruments anonymizer;
+  };
+
   ClassState& state_of(ClassId id) REQUIRES(mu_);
   std::shared_ptr<const delta::Encoder> make_working_encoder(util::BytesView doc) const;
   void start_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
   void maybe_complete_publication(ClassId id, ClassState& cls, util::SimTime now)
       REQUIRES(mu_);
-  void record_publication(ClassId id, ClassState& cls) REQUIRES(mu_);
+  void record_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
 
   DeltaServerConfig config_;  // immutable after construction
   http::RuleBook rules_;      // immutable after construction
@@ -224,7 +278,8 @@ class DeltaServer {
   std::map<std::uint64_t, std::size_t> classless_docs_ GUARDED_BY(mu_);
   std::size_t classless_storage_bytes_ GUARDED_BY(mu_) = 0;
   util::Rng rng_ GUARDED_BY(mu_);
-  PipelineMetrics metrics_ GUARDED_BY(mu_);
+  std::shared_ptr<obs::Obs> obs_;  // immutable after construction
+  Instruments instr_;              // immutable after construction
   mutable Mutex mu_;
 };
 

@@ -11,6 +11,15 @@ DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
     : server_(server), capacity_(queue_capacity), worker_count_(workers) {
   CBDE_EXPECT(workers >= 1);
   CBDE_EXPECT(queue_capacity >= 1);
+  auto& reg = server_.obs().registry();
+  instr_.jobs = &reg.counter("cbde_pool_jobs_total", "Requests accepted by the pool");
+  instr_.saturation =
+      &reg.counter("cbde_pool_saturation_total",
+                   "Submits that blocked on a full queue (backpressure)");
+  instr_.queue_depth = &reg.gauge("cbde_pool_queue_depth", "Jobs waiting in the queue");
+  instr_.queue_wait =
+      &server_.obs().histogram("cbde_pool_queue_wait_microseconds",
+                               "Wall time a job spent queued before a worker took it");
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -27,12 +36,28 @@ std::future<ServedResponse> DeltaWorkerPool::submit(std::uint64_t user_id,
   job.url = std::move(url);
   job.doc = std::move(doc);
   job.now = now;
+  job.trace = server_.obs().maybe_trace();
+  if (job.trace != nullptr) job.queue_span = job.trace->begin("queue");
   std::future<ServedResponse> result = job.promise.get_future();
   {
     const LockGuard lock(mu_);
-    while (queue_.size() >= capacity_ && !stopping_) not_full_.wait(mu_);
+    if (queue_.size() >= capacity_ && !stopping_) {
+      instr_.saturation->inc();
+      if (!saturated_) {
+        saturated_ = true;
+        server_.obs().emit(obs::EventKind::kPoolSaturated, now, 0,
+                           {{"queue_capacity", std::to_string(capacity_)},
+                            {"workers", std::to_string(worker_count_)}});
+      }
+      while (queue_.size() >= capacity_ && !stopping_) not_full_.wait(mu_);
+    } else {
+      saturated_ = false;
+    }
     if (stopping_) throw std::runtime_error("DeltaWorkerPool: submit after shutdown");
+    job.enqueue_us = obs::now_us();
     queue_.push_back(std::move(job));
+    instr_.jobs->inc();
+    instr_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
   }
   not_empty_.notify_one();
   return result;
@@ -47,11 +72,14 @@ void DeltaWorkerPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      instr_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
     }
     not_full_.notify_one();
+    instr_.queue_wait->observe(obs::now_us() - job.enqueue_us);
+    if (job.trace != nullptr) job.trace->end(job.queue_span);
     try {
-      job.promise.set_value(
-          server_.serve(job.user_id, job.url, util::as_view(job.doc), job.now));
+      job.promise.set_value(server_.serve(job.user_id, job.url, util::as_view(job.doc),
+                                          job.now, std::move(job.trace)));
     } catch (...) {
       job.promise.set_exception(std::current_exception());
     }

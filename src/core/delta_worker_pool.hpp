@@ -64,6 +64,20 @@ class DeltaWorkerPool {
     util::Bytes doc;
     util::SimTime now = 0;
     std::promise<ServedResponse> promise;
+    /// Sampled at submit time so queue wait lands in the same trace as the
+    /// serve stages. The queue mutex orders the submitter's span-begin
+    /// before the worker's span-end.
+    std::shared_ptr<obs::TraceContext> trace;
+    obs::SpanId queue_span = 0;
+    std::uint64_t enqueue_us = 0;
+  };
+
+  /// Registry handles (into server.obs()); set once in the constructor.
+  struct Instruments {
+    obs::Counter* jobs = nullptr;
+    obs::Counter* saturation = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait = nullptr;
   };
 
   void worker_loop() EXCLUDES(mu_);
@@ -80,8 +94,12 @@ class DeltaWorkerPool {
   CondVar not_empty_;
   CondVar not_full_;
   CondVar join_done_cv_;
+  Instruments instr_;  // immutable after construction
   std::deque<Job> queue_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
+  /// True while the queue is running at capacity; drives one kPoolSaturated
+  /// event per saturation episode instead of one per blocked submit.
+  bool saturated_ GUARDED_BY(mu_) = false;
   bool join_done_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_ GUARDED_BY(mu_);
 };

@@ -9,7 +9,16 @@ namespace cbde::core {
 
 EventPipeline::EventPipeline(const server::OriginServer& origin,
                              EventPipelineConfig config, http::RuleBook rules)
-    : origin_(origin), config_(config), delta_server_(config.server, std::move(rules)) {}
+    : origin_(origin), config_(config), delta_server_(config.server, std::move(rules)) {
+  auto& reg = delta_server_.obs().registry();
+  instr_.completed = &reg.counter("cbde_netsim_completed_total",
+                                  "Requests fully delivered to their client");
+  instr_.uplink_bytes = &reg.counter("cbde_netsim_uplink_bytes_total",
+                                     "Bytes pushed through the shared site uplink");
+  instr_.latency = &delta_server_.obs().histogram(
+      "cbde_netsim_latency_microseconds",
+      "Simulated request-issued to last-byte-at-client latency");
+}
 
 EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& requests) {
   EventPipelineResult result;
@@ -69,6 +78,8 @@ EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& reques
       if (base_bytes > 0) done = it->second.transmit(done, base_bytes);
 
       ++result.completed;
+      instr_.completed->inc();
+      instr_.latency->observe(static_cast<std::uint64_t>(done - issued));
       result.latency_us.add(static_cast<double>(done - issued));
       result.horizon = std::max(result.horizon, done);
     });
@@ -76,6 +87,7 @@ EventPipelineResult EventPipeline::run(const std::vector<trace::Request>& reques
   events.run();
 
   result.uplink_bytes = uplink.bytes_carried();
+  instr_.uplink_bytes->add(result.uplink_bytes);
   result.uplink_utilization = uplink.utilization(result.horizon);
   // Utilization of the whole pool: busy time over horizon * workers.
   result.cpu_utilization =

@@ -56,10 +56,21 @@ class EventPipeline {
   /// Replay `requests` (sorted by time) through the queueing network.
   EventPipelineResult run(const std::vector<trace::Request>& requests);
 
+  /// Telemetry domain (shared with the embedded delta-server).
+  obs::Obs& obs() const { return delta_server_.obs(); }
+
  private:
+  /// Queueing-network registry handles (set once in the constructor).
+  struct Instruments {
+    obs::Counter* completed = nullptr;
+    obs::Counter* uplink_bytes = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
   const server::OriginServer& origin_;
   EventPipelineConfig config_;
   DeltaServer delta_server_;
+  Instruments instr_;
 };
 
 }  // namespace cbde::core

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "util/stats.hpp"
 
@@ -28,18 +29,35 @@ struct PipelineMetrics {
 
   double cpu_us_total = 0;  ///< modeled delta-server CPU
 
-  /// Fraction of outbound bytes saved vs. serving everything directly.
+  /// Fraction of outbound bytes saved vs. serving everything directly:
+  /// 1 - sent/direct, where sent = wire_bytes + base_wire_bytes.
+  ///
+  /// Zero-denominator convention (shared with reduction_factor(), which is
+  /// the same ratio inverted, so the two can never disagree about whether a
+  /// run was a win):
+  ///   * direct == 0 and sent == 0  ->  0.0   (no traffic, neutral)
+  ///   * direct == 0 and sent  > 0  -> -inf   (pure overhead, e.g. a run
+  ///                                           that only distributed bases)
+  ///   * direct  > 0 and sent == 0  ->  1.0   (everything saved)
   double savings() const {
-    if (direct_bytes == 0) return 0.0;
-    const double sent = static_cast<double>(wire_bytes + base_wire_bytes);
-    return 1.0 - sent / static_cast<double>(direct_bytes);
+    const std::uint64_t sent = wire_bytes + base_wire_bytes;
+    if (direct_bytes == 0) {
+      return sent == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+    }
+    return 1.0 - static_cast<double>(sent) / static_cast<double>(direct_bytes);
   }
 
-  /// Mean compression factor: direct bytes / sent bytes.
+  /// Mean compression factor: direct bytes / sent bytes. Zero-denominator
+  /// convention mirrors savings():
+  ///   * direct == 0 and sent == 0  ->  1.0   (neutral)
+  ///   * direct == 0 and sent  > 0  ->  0.0   (pure overhead)
+  ///   * direct  > 0 and sent == 0  -> +inf   (everything saved)
   double reduction_factor() const {
-    const auto sent = wire_bytes + base_wire_bytes;
-    return sent == 0 ? 0.0
-                     : static_cast<double>(direct_bytes) / static_cast<double>(sent);
+    const std::uint64_t sent = wire_bytes + base_wire_bytes;
+    if (sent == 0) {
+      return direct_bytes == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(direct_bytes) / static_cast<double>(sent);
   }
 };
 

@@ -10,13 +10,29 @@ Pipeline::Pipeline(const server::OriginServer& origin, PipelineConfig config,
     : origin_(origin),
       config_(config),
       delta_server_(config.server, std::move(rules)),
-      base_cache_(config.proxy_capacity_bytes) {}
+      base_cache_(config.proxy_capacity_bytes) {
+  // One telemetry domain for the whole stack: the proxy cache and the
+  // pipeline-level counters register into the delta-server's Obs.
+  base_cache_.set_instruments(proxy::CacheInstruments::attach(delta_server_.obs()));
+  auto& reg = delta_server_.obs().registry();
+  instr_.requests =
+      &reg.counter("cbde_pipeline_requests_total", "Requests entering the pipeline");
+  instr_.not_found = &reg.counter("cbde_pipeline_not_found_total",
+                                  "URLs the origin could not resolve");
+  instr_.verified = &reg.counter("cbde_pipeline_verified_total",
+                                 "Client reconstructions verified byte-exact");
+  instr_.verify_failures =
+      &reg.counter("cbde_pipeline_verify_failures_total",
+                   "Client reconstructions that mismatched the origin document");
+}
 
 void Pipeline::process(std::uint64_t user_id, const http::Url& url, util::SimTime now) {
   ++partial_.requests;
+  instr_.requests->inc();
   const auto doc = origin_.document(url, user_id, now);
   if (!doc) {
     ++partial_.not_found;
+    instr_.not_found->inc();
     return;
   }
 
@@ -51,8 +67,16 @@ void Pipeline::process(std::uint64_t user_id, const http::Url& url, util::SimTim
                           util::as_view(resp.wire_body), resp.wire_compressed);
     if (rebuilt == *doc) {
       ++partial_.verified;
+      instr_.verified->inc();
     } else {
       ++partial_.verify_failures;
+      instr_.verify_failures->inc();
+      delta_server_.obs().emit(
+          obs::EventKind::kDecodeFailure, now, resp.class_id,
+          {{"user", std::to_string(user_id)},
+           {"url", url.to_string()},
+           {"base_version", std::to_string(resp.base_version)},
+           {"delta_size", std::to_string(resp.delta_size)}});
     }
   }
 

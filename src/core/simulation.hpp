@@ -82,13 +82,25 @@ class Pipeline {
 
   const DeltaServer& delta_server() const { return delta_server_; }
 
+  /// The stack's shared telemetry domain (scrape via obs().registry()).
+  obs::Obs& obs() const { return delta_server_.obs(); }
+
  private:
+  /// Pipeline-level registry handles (set once in the constructor).
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* not_found = nullptr;
+    obs::Counter* verified = nullptr;
+    obs::Counter* verify_failures = nullptr;
+  };
+
   const server::OriginServer& origin_;
   PipelineConfig config_;
   DeltaServer delta_server_;
   proxy::LruCache base_cache_;
   std::map<std::uint64_t, client::ClientAgent> clients_;
   PipelineReport partial_;  // incrementally filled; server metrics copied on report()
+  Instruments instr_;
 };
 
 }  // namespace cbde::core

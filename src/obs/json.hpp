@@ -1,0 +1,43 @@
+// Minimal JSON string/number formatting shared by the obs exporters (the
+// registry JSON dump, trace-span JSON, and the event-log JSONL sink). Not a
+// parser — emission only, so a handful of helpers is the whole surface.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cbde::obs {
+
+/// Append `s` as a JSON string literal (quotes included) to `out`.
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Shortest round-trippable-enough decimal for metric values: integers print
+/// without a fraction ("42"), everything else as %.17g ("2.5").
+inline std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace cbde::obs

@@ -1,0 +1,248 @@
+// MetricsRegistry: named counters, gauges and log-linear histograms with
+// snapshot export to Prometheus text exposition format and JSON
+// (docs/OBSERVABILITY.md holds the catalog and naming convention
+// `cbde_<layer>_<name>[_unit]`, enforced by tools/lint/cbde_lint.py).
+//
+// Concurrency model — "lock-cheap":
+//   * registration (rare) takes the registry Mutex;
+//   * the hot path (Counter::add, Gauge::set, Histogram::observe) is a
+//     relaxed atomic operation on registry-owned storage — no lock, and
+//     counters are sharded across cache lines so concurrent writers from
+//     different threads do not bounce one line;
+//   * snapshots (value(), prometheus(), json()) sum the shards with relaxed
+//     loads. A snapshot taken while writers are running is per-metric
+//     atomic but not cross-metric consistent; callers that need a
+//     consistent multi-metric view (DeltaServer::metrics()) serialize with
+//     the writers' own lock.
+//
+// Handles returned by the registry are stable for the registry's lifetime
+// (node-based storage); components keep the reference and never look the
+// name up again. Registration is idempotent: the same (name, kind) returns
+// the existing instrument; a kind or bucket mismatch throws.
+//
+// Compile-out (CBDE_OBS_OFF): Histogram::observe becomes a no-op. Counters
+// and gauges stay live in every build — they are the source of truth behind
+// core::PipelineMetrics, not optional telemetry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace cbde::obs {
+
+#if defined(CBDE_OBS_OFF)
+inline constexpr bool kCompiledOut = true;
+#else
+inline constexpr bool kCompiledOut = false;
+#endif
+
+/// Shards per counter; power of two. 8 cache lines per counter buys
+/// contention-free adds from up to 8 concurrent threads (worker-pool scale).
+inline constexpr std::size_t kCounterShards = 8;
+
+/// Cache-line-sized cell so shards never share a line.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) DoubleCell {
+  std::atomic<double> v{0.0};
+};
+
+/// This thread's shard. Hash of the thread id, cached per thread.
+inline std::size_t shard_index() noexcept {
+  static thread_local const std::size_t cached =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kCounterShards - 1);
+  return cached;
+}
+
+/// Relaxed add for atomic<double> via CAS (fetch_add on floating atomics is
+/// C++20 but not reliably lock-free everywhere; the CAS loop is).
+inline void relaxed_add(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonic counter (uint64). add() is a relaxed atomic add on the calling
+/// thread's shard; value() sums the shards.
+class Counter {
+ public:
+  void add(std::uint64_t d) noexcept {
+    shards_[shard_index()].v.fetch_add(d, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : shards_) total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<CounterCell, kCounterShards> shards_;
+};
+
+/// Monotonic counter accumulating doubles (modeled CPU microseconds).
+class DoubleCounter {
+ public:
+  void add(double d) noexcept { relaxed_add(shards_[shard_index()].v, d); }
+  double value() const noexcept {
+    double total = 0;
+    for (const auto& cell : shards_) total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  DoubleCounter() = default;
+  std::array<DoubleCell, kCounterShards> shards_;
+};
+
+/// Point-in-time value. set() is last-writer-wins; prefer add() deltas when
+/// several components share one gauge (the proxy caches' size gauge).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-linear-bucket histogram for non-negative integer observations
+/// (latencies in µs, sizes in bytes).
+///
+/// Layout, with s = sub_buckets (power of two, k = log2 s):
+///   * buckets 0..s-1 hold the exact values 0..s-1;
+///   * each power-of-two octave [2^e, 2^(e+1)) for e in [k, kMaxExponent)
+///     is split into s linear sub-buckets of width 2^(e-k);
+///   * values >= 2^kMaxExponent land in the overflow (+Inf) bucket.
+/// Relative error is bounded by 1/s per octave; s=4 gives <= 25%, s=16
+/// <= 6.25%. Bucket boundaries depend only on s, so histograms with equal s
+/// merge bucket-by-bucket.
+class Histogram {
+ public:
+  /// Values at or above 2^kMaxExponent (~1.1e12: ~12.7 days in µs, ~1 TiB
+  /// in bytes) are overflow.
+  static constexpr unsigned kMaxExponent = 40;
+
+  void observe(std::uint64_t value) noexcept {
+#if !defined(CBDE_OBS_OFF)
+    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  std::size_t bucket_index(std::uint64_t value) const noexcept {
+    if (value < sub_buckets_) return static_cast<std::size_t>(value);
+    const unsigned e = static_cast<unsigned>(std::bit_width(value)) - 1;
+    if (e >= kMaxExponent) return value_buckets_;  // overflow bucket
+    const unsigned shift = e - log2_sub_;
+    const std::size_t sub =
+        static_cast<std::size_t>((value - (std::uint64_t{1} << e)) >> shift);
+    return sub_buckets_ + (e - log2_sub_) * sub_buckets_ + sub;
+  }
+
+  /// Largest value belonging to bucket `i` (the Prometheus `le` bound,
+  /// inclusive); +infinity for the overflow bucket.
+  double upper_bound(std::size_t i) const noexcept;
+
+  /// Total buckets including the overflow bucket.
+  std::size_t num_buckets() const noexcept { return value_buckets_ + 1; }
+  std::size_t sub_buckets() const noexcept { return sub_buckets_; }
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::size_t sub_buckets);
+
+  std::size_t sub_buckets_;
+  unsigned log2_sub_;
+  std::size_t value_buckets_;  ///< buckets before the overflow bucket
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter, kDoubleCounter, kGauge, kHistogram };
+std::string_view metric_kind_name(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or fetch) an instrument. Throws std::invalid_argument on an
+  /// invalid name, a kind mismatch with an existing registration, or (for
+  /// histograms) a sub_buckets mismatch. sub_buckets must be a power of two
+  /// in [1, 64].
+  Counter& counter(std::string_view name, std::string_view help) EXCLUDES(mu_);
+  DoubleCounter& double_counter(std::string_view name, std::string_view help)
+      EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name, std::string_view help) EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::size_t sub_buckets = 4) EXCLUDES(mu_);
+
+  /// Prometheus text exposition format (v0.0.4). Families sorted by name;
+  /// histogram buckets are emitted cumulatively up to the highest non-empty
+  /// bound plus the mandatory +Inf bucket.
+  std::string prometheus() const EXCLUDES(mu_);
+
+  /// JSON object keyed by metric name (docs/OBSERVABILITY.md gives the
+  /// schema). Same trimming as the Prometheus export.
+  std::string json() const EXCLUDES(mu_);
+
+  /// Registered names, sorted (test/CI introspection).
+  std::vector<std::string> names() const EXCLUDES(mu_);
+
+  /// Look up an existing instrument; nullptr when `name` is unregistered or
+  /// of a different kind (test/CI introspection — hot paths keep handles).
+  const Counter* find_counter(std::string_view name) const EXCLUDES(mu_);
+  const DoubleCounter* find_double_counter(std::string_view name) const EXCLUDES(mu_);
+  const Gauge* find_gauge(std::string_view name) const EXCLUDES(mu_);
+  const Histogram* find_histogram(std::string_view name) const EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<DoubleCounter> double_counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(std::string_view name, std::string_view help, MetricKind kind)
+      REQUIRES(mu_);
+  const Entry* find(std::string_view name, MetricKind kind) const EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  /// Node-based map: handles stay valid as the registry grows; iteration is
+  /// name-sorted, which makes every export deterministic.
+  std::map<std::string, Entry, std::less<>> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace cbde::obs

@@ -1,0 +1,78 @@
+// cbde::obs — the observability substrate (metrics registry + per-request
+// trace spans + structured event log) behind the CBDE pipeline. One Obs
+// instance is one telemetry domain: a DeltaServer creates its own by
+// default, and a pipeline (core::Pipeline, core::EventPipeline, benches)
+// shares a single instance across the server, worker pool and proxy cache
+// by setting DeltaServerConfig::obs_instance.
+//
+// Sharing note: two DeltaServers pointed at one Obs aggregate into the same
+// counters, and each server's metrics() then reports the aggregate — share
+// an instance across *one* serving stack, not across independent servers.
+//
+// See docs/OBSERVABILITY.md for the metric catalog, span taxonomy and
+// event-log schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_span.hpp"
+
+namespace cbde::obs {
+
+struct ObsConfig {
+  /// Fraction of requests that get a trace (0 = tracing off, 1 = every
+  /// request). Deterministic 1-in-round(1/rate) sampling, first request
+  /// always sampled, so short smoke runs still produce a trace.
+  double sample_rate = 0.0;
+  /// Log-linear sub-buckets per power-of-two octave for every histogram
+  /// this instance registers (power of two in [1, 64]; 4 => <= 25% relative
+  /// error, 16 => <= 6.25%).
+  std::size_t histogram_sub_buckets = 4;
+  /// JSONL sink for the event log; empty = in-memory ring only.
+  std::string event_log_path;
+  /// Most recent events retained in memory.
+  std::size_t event_ring_capacity = 1024;
+};
+
+class Obs {
+ public:
+  explicit Obs(ObsConfig config = {});
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+  const ObsConfig& config() const { return config_; }
+
+  /// Sampling decision for one request: a fresh TraceContext when this
+  /// request is sampled, nullptr otherwise (and always nullptr when
+  /// tracing is off or compiled out).
+  std::shared_ptr<TraceContext> maybe_trace();
+
+  /// Histogram with this instance's configured sub-bucket resolution.
+  Histogram& histogram(std::string_view name, std::string_view help) {
+    return registry_.histogram(name, help, config_.histogram_sub_buckets);
+  }
+
+  /// Convenience event emission (counts into cbde_obs_events_emitted_total).
+  void emit(EventKind kind, std::int64_t sim_time_us, std::uint64_t class_id,
+            std::vector<std::pair<std::string, std::string>> fields = {});
+
+ private:
+  ObsConfig config_;
+  MetricsRegistry registry_;
+  EventLog events_;
+  std::uint64_t sample_period_;  ///< 0 = never, N = every N-th request
+  std::atomic<std::uint64_t> sample_seq_{0};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  Counter* traces_sampled_ = nullptr;
+  Counter* events_emitted_ = nullptr;
+};
+
+}  // namespace cbde::obs

@@ -4,6 +4,22 @@
 
 namespace cbde::proxy {
 
+CacheInstruments CacheInstruments::attach(obs::Obs& obs) {
+  auto& reg = obs.registry();
+  CacheInstruments out;
+  out.hits = &reg.counter("cbde_proxy_hits_total", "Proxy-cache hits");
+  out.misses = &reg.counter("cbde_proxy_misses_total", "Proxy-cache misses");
+  out.insertions =
+      &reg.counter("cbde_proxy_insertions_total", "Objects inserted (origin fetches)");
+  out.evictions = &reg.counter("cbde_proxy_evictions_total", "Objects evicted");
+  out.bytes_served =
+      &reg.counter("cbde_proxy_served_bytes_total", "Body bytes answered from cache");
+  out.bytes_fetched =
+      &reg.counter("cbde_proxy_fetched_bytes_total", "Body bytes fetched from origin");
+  out.size = &reg.gauge("cbde_proxy_size_bytes", "Bytes currently cached");
+  return out;
+}
+
 LruCache::LruCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
   CBDE_EXPECT(capacity_bytes > 0);
 }
@@ -12,23 +28,33 @@ std::optional<util::BytesView> LruCache::get(const std::string& key) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (instr_.misses != nullptr) instr_.misses->inc();
     return std::nullopt;
   }
   entries_.splice(entries_.begin(), entries_, it->second);
   ++stats_.hits;
   stats_.bytes_served += it->second->body.size();
+  if (instr_.hits != nullptr) {
+    instr_.hits->inc();
+    instr_.bytes_served->add(it->second->body.size());
+  }
   return util::as_view(it->second->body);
 }
 
 void LruCache::put(const std::string& key, util::Bytes body) {
   stats_.bytes_fetched += body.size();
   ++stats_.insertions;
+  if (instr_.insertions != nullptr) {
+    instr_.insertions->inc();
+    instr_.bytes_fetched->add(body.size());
+  }
   erase(key);
   if (body.size() > capacity_) return;  // would evict everything; don't store
   evict_until_fits(body.size());
   size_bytes_ += body.size();
   entries_.push_front(Entry{key, std::move(body)});
   index_[key] = entries_.begin();
+  sync_size_gauge();
 }
 
 void LruCache::erase(const std::string& key) {
@@ -37,6 +63,7 @@ void LruCache::erase(const std::string& key) {
   size_bytes_ -= it->second->body.size();
   entries_.erase(it->second);
   index_.erase(it);
+  sync_size_gauge();
 }
 
 void LruCache::evict_until_fits(std::size_t incoming) {
@@ -46,7 +73,9 @@ void LruCache::evict_until_fits(std::size_t incoming) {
     index_.erase(victim.key);
     entries_.pop_back();
     ++stats_.evictions;
+    if (instr_.evictions != nullptr) instr_.evictions->inc();
   }
+  sync_size_gauge();
 }
 
 }  // namespace cbde::proxy

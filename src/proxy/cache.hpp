@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 
 namespace cbde::proxy {
@@ -29,6 +30,25 @@ struct CacheStats {
     const auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+/// Registry handles a cache mirrors its CacheStats into. Both replacement
+/// policies (LruCache, GreedyDualCache) report through the same
+/// cbde_proxy_* family — attach() is the single registration site, so the
+/// catalog has one entry per metric no matter which policy a pipeline uses.
+/// Attaching two live caches to one Obs aggregates them. All-null
+/// (default) = no-op.
+struct CacheInstruments {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* insertions = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Counter* bytes_served = nullptr;
+  obs::Counter* bytes_fetched = nullptr;
+  obs::Gauge* size = nullptr;
+
+  /// Register (or fetch) the cbde_proxy_* family in `obs`.
+  static CacheInstruments attach(obs::Obs& obs);
 };
 
 class LruCache {
@@ -51,6 +71,8 @@ class LruCache {
   std::size_t entries() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  void set_instruments(const CacheInstruments& instr) { instr_ = instr; }
+
  private:
   struct Entry {
     std::string key;
@@ -58,12 +80,16 @@ class LruCache {
   };
 
   void evict_until_fits(std::size_t incoming);
+  void sync_size_gauge() {
+    if (instr_.size != nullptr) instr_.size->set(static_cast<std::int64_t>(size_bytes_));
+  }
 
   std::size_t capacity_;
   std::size_t size_bytes_ = 0;
   std::list<Entry> entries_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   CacheStats stats_;
+  CacheInstruments instr_;
 };
 
 }  // namespace cbde::proxy

@@ -29,18 +29,27 @@ std::optional<util::BytesView> GreedyDualCache::get(const std::string& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (instr_.misses != nullptr) instr_.misses->inc();
     return std::nullopt;
   }
   ++it->second.freq;
   reindex(key, it->second);
   ++stats_.hits;
   stats_.bytes_served += it->second.body.size();
+  if (instr_.hits != nullptr) {
+    instr_.hits->inc();
+    instr_.bytes_served->add(it->second.body.size());
+  }
   return util::as_view(it->second.body);
 }
 
 void GreedyDualCache::put(const std::string& key, util::Bytes body) {
   stats_.bytes_fetched += body.size();
   ++stats_.insertions;
+  if (instr_.insertions != nullptr) {
+    instr_.insertions->inc();
+    instr_.bytes_fetched->add(body.size());
+  }
   erase(key);
   if (body.size() > capacity_) return;
   evict_until_fits(body.size());
@@ -55,6 +64,7 @@ void GreedyDualCache::put(const std::string& key, util::Bytes body) {
   // Register in the index (erase of the placeholder pair is a no-op).
   it->second.priority = priority_of(it->second);
   by_priority_.emplace(std::make_pair(it->second.priority, it->second.seq), key);
+  sync_size_gauge();
 }
 
 void GreedyDualCache::erase(const std::string& key) {
@@ -63,6 +73,7 @@ void GreedyDualCache::erase(const std::string& key) {
   size_bytes_ -= it->second.body.size();
   by_priority_.erase({it->second.priority, it->second.seq});
   entries_.erase(it);
+  sync_size_gauge();
 }
 
 void GreedyDualCache::evict_until_fits(std::size_t incoming) {
@@ -77,7 +88,9 @@ void GreedyDualCache::evict_until_fits(std::size_t incoming) {
     entries_.erase(it);
     by_priority_.erase(victim);
     ++stats_.evictions;
+    if (instr_.evictions != nullptr) instr_.evictions->inc();
   }
+  sync_size_gauge();
 }
 
 }  // namespace cbde::proxy

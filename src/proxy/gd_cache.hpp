@@ -34,6 +34,8 @@ class GreedyDualCache {
   std::size_t entries() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  void set_instruments(const CacheInstruments& instr) { instr_ = instr; }
+
  private:
   struct Entry {
     util::Bytes body;
@@ -45,6 +47,9 @@ class GreedyDualCache {
   double priority_of(const Entry& entry) const;
   void reindex(const std::string& key, Entry& entry);
   void evict_until_fits(std::size_t incoming);
+  void sync_size_gauge() {
+    if (instr_.size != nullptr) instr_.size->set(static_cast<std::int64_t>(size_bytes_));
+  }
 
   std::size_t capacity_;
   std::size_t size_bytes_ = 0;
@@ -54,6 +59,7 @@ class GreedyDualCache {
   /// (priority, seq) -> key; begin() is the eviction victim.
   std::map<std::pair<double, std::uint64_t>, std::string> by_priority_;
   CacheStats stats_;
+  CacheInstruments instr_;
 };
 
 }  // namespace cbde::proxy

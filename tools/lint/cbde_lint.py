@@ -21,6 +21,15 @@ ci.sh over src/ tests/ bench/. Checks, each with a stable id:
                   registered fuzz target: the target name must appear in
                   tests/fuzz/CMakeLists.txt and the entry-point symbol in
                   tests/fuzz/fuzz_main.cpp.
+  obs-metric      every metric registered against the obs registry
+                  (counter/double_counter/gauge/histogram with a literal
+                  name) must follow the cbde_<layer>_<name>[_unit] naming
+                  convention (lowercase snake_case, >= 3 segments) and be
+                  registered at exactly one source location — one site per
+                  name keeps the catalog in docs/OBSERVABILITY.md
+                  unambiguous. Components share handles, they do not
+                  re-register. Tests that exercise registry validation
+                  itself annotate the line `// lint: obs-ok <reason>`.
 
 Usage:
   cbde_lint.py DIR [DIR...]    lint *.cpp/*.hpp/*.h under the dirs
@@ -78,6 +87,18 @@ FUZZ_REQUIRED = {
     "trace::parse_clf": "access_log",
     "core::load_config": "config",
 }
+
+
+# A registration call with a literal metric name: .counter("..."),
+# .double_counter("..."), .gauge("..."), .histogram("..."). The [^\w]
+# look-behind keeps `find_counter(` and `double_counter(` from matching the
+# bare `counter` alternative.
+OBS_REGISTRATION = re.compile(
+    r"(?:^|[^\w])(counter|double_counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"")
+
+# cbde_<layer>_<name>[_unit]: lowercase snake_case, at least three segments
+# (the cbde prefix, a layer, and a name).
+OBS_METRIC_NAME = re.compile(r"^cbde_[a-z][a-z0-9]*(?:_[a-z0-9]+)+$")
 
 
 class Finding:
@@ -191,6 +212,72 @@ def check_catch_swallow(path: Path, text: str, findings: list[Finding]) -> None:
                 "or log (or annotate `// lint: swallow-ok <reason>`)"))
 
 
+def strip_comment(line: str) -> str:
+    """Drop a trailing // comment but KEEP string literals intact — the
+    obs-metric check reads names out of the literals strip_code_noise would
+    erase."""
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            quote = c
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            return line[:i]
+        i += 1
+    return line
+
+
+# metric name -> list of (path, line, registration kind)
+ObsSites = dict[str, list[tuple[Path, int, str]]]
+
+
+def collect_obs_registrations(path: Path, lines: list[str], sites: ObsSites) -> None:
+    # Join comment-stripped lines so a call wrapped after the '(' still
+    # matches (\s* in OBS_REGISTRATION crosses the newline). Lines carrying
+    # the explicit escape hatch are blanked (line numbering is preserved).
+    stripped = "\n".join(
+        "" if "lint: obs-ok" in line else strip_comment(line) for line in lines)
+    for m in OBS_REGISTRATION.finditer(stripped):
+        line_no = stripped.count("\n", 0, m.start()) + 1
+        sites.setdefault(m.group(2), []).append((path, line_no, m.group(1)))
+
+
+def check_obs_metrics(sites: ObsSites, findings: list[Finding]) -> None:
+    for name, regs in sorted(sites.items()):
+        path, line, _kind = regs[0]
+        if not OBS_METRIC_NAME.match(name):
+            findings.append(Finding(
+                "obs-metric", path, line,
+                f"metric name '{name}' violates cbde_<layer>_<name>[_unit] "
+                "(lowercase snake_case, >= 3 segments)"))
+        if len(regs) > 1:
+            where = ", ".join(f"{rel_posix(p)}:{ln}" for p, ln, _ in regs[1:])
+            findings.append(Finding(
+                "obs-metric", path, line,
+                f"metric '{name}' registered at {len(regs)} sites (also "
+                f"{where}); register once and share the handle"))
+        for p, ln, kind in regs:
+            is_counter = kind in ("counter", "double_counter")
+            if is_counter and not name.endswith("_total"):
+                findings.append(Finding(
+                    "obs-metric", p, ln,
+                    f"counter '{name}' must carry the _total suffix"))
+            elif not is_counter and name.endswith("_total"):
+                findings.append(Finding(
+                    "obs-metric", p, ln,
+                    f"{kind} '{name}' must not carry the counter-only "
+                    "_total suffix"))
+
+
 def check_fuzz_coverage(root: Path, findings: list[Finding]) -> None:
     cmake = root / "tests/fuzz/CMakeLists.txt"
     main = root / "tests/fuzz/fuzz_main.cpp"
@@ -226,6 +313,7 @@ def lint_paths(dirs: list[Path], root: Path) -> list[Finding]:
         else:
             files.extend(p for p in sorted(d.rglob("*"))
                          if p.suffix in SOURCE_SUFFIXES and p.is_file())
+    obs_sites: ObsSites = {}
     for path in files:
         text = path.read_text(encoding="utf-8", errors="replace")
         lines = text.splitlines()
@@ -233,6 +321,8 @@ def lint_paths(dirs: list[Path], root: Path) -> list[Finding]:
         check_nolint_form(path, lines, findings)
         check_banned_fn(path, lines, findings)
         check_catch_swallow(path, text, findings)
+        collect_obs_registrations(path, lines, obs_sites)
+    check_obs_metrics(obs_sites, findings)
     check_fuzz_coverage(root, findings)
     return findings
 
@@ -247,6 +337,14 @@ SEEDED_VIOLATIONS = {
     "banned-fn": "int pick() { return rand() % 6; }\n"
                  "void copy(char* d, const char* s) { strcpy(d, s); }\n",
     "catch-swallow": "void f() { try { g(); } catch (...) { } }\n",
+    # Three distinct obs-metric violations: bad casing, duplicate
+    # registration, and a counter without the _total suffix.
+    "obs-metric": "void wire(cbde::obs::MetricsRegistry& reg) {\n"
+                  '  reg.counter("BadName_total", "not snake_case");\n'
+                  '  reg.counter("cbde_seed_dup_total", "first site");\n'
+                  '  reg.counter("cbde_seed_dup_total", "second site");\n'
+                  '  reg.counter("cbde_seed_requests", "missing _total");\n'
+                  "}\n",
 }
 
 SEEDED_CLEAN = (
@@ -256,6 +354,11 @@ SEEDED_CLEAN = (
     "int z = get();  // NOLINT(cert-err34-c) value range pre-checked above\n"
     "void f() { try { g(); } catch (...) { std::fprintf(stderr, \"x\\n\"); } }\n"
     "void h() { try { g(); } catch (...) { throw; } }\n"
+    "void wire(cbde::obs::MetricsRegistry& reg) {\n"
+    '  reg.counter("cbde_seed_requests_total", "well-formed, one site");\n'
+    '  reg.gauge(\n      "cbde_seed_queue_depth", "wrapped call still collected");\n'
+    '  auto* c = reg.find_counter("cbde_seed_requests_total");  // lookup, not a site\n'
+    "}\n"
 )
 
 
