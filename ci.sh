@@ -1,15 +1,17 @@
 #!/usr/bin/env sh
-# CI gate: repo lint + sanitizer build + full test suite + Clang
-# thread-safety analysis + clang-tidy over src/.
+# CI gate: repo lint + semantic analysis (cbde_sema) + sanitizer build +
+# full test suite + contracts-audit test suite + Clang thread-safety
+# analysis + clang-tidy over src/.
 #
 #   ./ci.sh          full run
 #   ./ci.sh --fast   skip the Clang-only stages (thread-safety, clang-tidy)
 #
-# Fails on: any cbde_lint finding, any compiler warning (CBDE_WERROR), any
-# test failure, any sanitizer report (-fno-sanitize-recover promotes them to
-# test failures), any thread-safety or clang-tidy diagnostic. Clang-only
-# stages skip LOUDLY when LLVM is absent — a skip is printed, never silently
-# green. See docs/ANALYSIS.md.
+# Fails on: any cbde_lint finding, any NEW cbde_sema finding (vs the
+# checked-in baseline), any compiler warning (CBDE_WERROR), any test
+# failure, any sanitizer report (-fno-sanitize-recover promotes them to
+# test failures), any contracts-audit violation, any thread-safety or
+# clang-tidy diagnostic. Clang-only stages skip LOUDLY when LLVM is absent
+# — a skip is printed, never silently green. See docs/ANALYSIS.md.
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,6 +23,14 @@ if command -v python3 >/dev/null 2>&1; then
   python3 tools/lint/cbde_lint.py src tests bench
 else
   echo "== SKIPPED: python3 not installed — cbde lint NOT run ==" >&2
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== cbde sema (self-test, then full tree vs baseline) =="
+  python3 tools/analyze/cbde_sema.py --self-test
+  python3 tools/analyze/cbde_sema.py
+else
+  echo "== SKIPPED: python3 not installed — cbde sema NOT run ==" >&2
 fi
 
 echo "== configure + build (asan-ubsan preset) =="
@@ -70,6 +80,14 @@ EOF
 else
   echo "== SKIPPED: python3 not installed — obs exposition/catalog gate NOT run ==" >&2
 fi
+
+echo "== contracts audit build (CBDE_CONTRACTS=audit) + full ctest =="
+# Audit level turns every CBDE_ENSURE / CBDE_ASSERT_INVARIANT into a live
+# throwing check; the whole suite must stay green with postconditions and
+# invariants armed.
+cmake --preset contracts
+cmake --build --preset contracts -j "$JOBS"
+ctest --preset contracts -j "$JOBS"
 
 if [ "${1:-}" = "--fast" ]; then
   echo "== Clang stages skipped (--fast): thread-safety analysis, clang-tidy =="

@@ -8,7 +8,7 @@
 #include <cstdint>
 
 #include "util/bytes.hpp"
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::compress {
 

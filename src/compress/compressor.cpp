@@ -6,7 +6,7 @@
 #include "compress/bitio.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lz77.hpp"
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/varint.hpp"
 
@@ -117,6 +117,8 @@ void emit_block(util::Bytes& out, util::BytesView block, bool final,
 }  // namespace
 
 util::Bytes compress(util::BytesView input, const CompressParams& params) {
+  // Anything larger could never round-trip through decompress()'s decode cap.
+  CBDE_EXPECT(input.size() <= kMaxDecompressSize);
   util::Bytes out;
   out.reserve(input.size() / 3 + 32);
   util::append(out, std::string_view("CBZ1"));
@@ -136,6 +138,8 @@ util::Bytes compress(util::BytesView input, const CompressParams& params) {
     emit_block(out, input.subspan(pos, len), final, params);
     pos += len;
   }
+  // Header (magic + size varint + crc) plus at least one block byte.
+  CBDE_ENSURE(out.size() > 9);
   return out;
 }
 
@@ -199,6 +203,7 @@ util::Bytes decompress(util::BytesView input) {
   }
   if (out.size() != *size) throw CorruptInput("cbz: size mismatch");
   if (util::crc32(util::as_view(out)) != crc) throw CorruptInput("cbz: checksum mismatch");
+  CBDE_ENSURE(out.size() <= kMaxDecompressSize);
   return out;
 }
 

@@ -5,7 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::compress {
 namespace {

@@ -1,6 +1,6 @@
 #include "core/anonymizer.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::core {
 namespace {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/varint.hpp"
 
@@ -14,10 +15,14 @@ namespace cbde::core {
 
 void MemoryBaseStore::put(std::uint64_t class_id, std::uint32_t version,
                           util::BytesView base) {
+  // Version 0 means "never published" throughout the pipeline; storing under
+  // it would make the base unreachable via fetch_base().
+  CBDE_EXPECT(version > 0);
   const LockGuard lock(mu_);
   erase_locked(class_id, version);
   bytes_ += base.size();
   store_.emplace(std::make_pair(class_id, version), util::Bytes(base.begin(), base.end()));
+  CBDE_ASSERT_INVARIANT(store_.contains({class_id, version}));
 }
 
 std::optional<util::Bytes> MemoryBaseStore::get(std::uint64_t class_id,
@@ -128,6 +133,7 @@ std::filesystem::path DiskBaseStore::path_for(std::uint64_t class_id,
 
 void DiskBaseStore::put(std::uint64_t class_id, std::uint32_t version,
                         util::BytesView base) {
+  CBDE_EXPECT(version > 0);
   // The write itself is serialized too: concurrent put()s to the same
   // (class, version) would otherwise race on the shared .tmp name.
   const LockGuard lock(mu_);
@@ -147,6 +153,7 @@ void DiskBaseStore::put(std::uint64_t class_id, std::uint32_t version,
   if (const auto it = index_.find(key); it != index_.end()) bytes_ -= it->second;
   index_[key] = base.size();
   bytes_ += base.size();
+  CBDE_ASSERT_INVARIANT(index_.contains(key));
 }
 
 std::optional<util::Bytes> DiskBaseStore::get(std::uint64_t class_id,

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::core {
 

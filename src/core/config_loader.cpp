@@ -159,6 +159,9 @@ LoadedConfig load_config(std::istream& in) {
       }
     } else if (section == "site") {
       if (key == "partition") {
+        // Reject here with a typed config error; an empty pattern would
+        // otherwise trip PartitionRule's precondition mid-construction.
+        if (value.empty()) fail(line_no, "partition rule pattern must not be empty");
         try {
           out.rules.add_rule(site_host, http::PartitionRule(value));
         } catch (const std::regex_error& e) {

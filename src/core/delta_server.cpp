@@ -1,6 +1,6 @@
 #include "core/delta_server.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 
 namespace cbde::core {
@@ -146,6 +146,8 @@ void DeltaServer::record_publication(ClassId id, ClassState& cls, util::SimTime 
 ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
                                   util::BytesView doc, util::SimTime now,
                                   std::shared_ptr<obs::TraceContext> trace) {
+  CBDE_EXPECT(!url.host.empty());
+  CBDE_EXPECT(now >= 0);
   ServedResponse out;
   out.doc_size = doc.size();
   if (trace == nullptr) trace = obs_->maybe_trace();
@@ -283,6 +285,9 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
       out.wire_body.assign(doc.begin(), doc.end());
       instr_.direct_responses->inc();
     }
+    // A delta response is only worth sending if it beats the document.
+    CBDE_ASSERT_INVARIANT(out.mode == ServedResponse::Mode::kDirect ||
+                          out.wire_body.size() < out.doc_size);
     instr_.wire_bytes->add(out.wire_body.size());
     if (out.base_needed) instr_.base_wire_bytes->add(out.base_size);
     instr_.cpu_us->add(out.cpu_us);

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::core {
 
@@ -56,6 +56,7 @@ std::future<ServedResponse> DeltaWorkerPool::submit(std::uint64_t user_id,
     if (stopping_) throw std::runtime_error("DeltaWorkerPool: submit after shutdown");
     job.enqueue_us = obs::now_us();
     queue_.push_back(std::move(job));
+    CBDE_ASSERT_INVARIANT(queue_.size() <= capacity_);
     instr_.jobs->inc();
     instr_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
   }

@@ -3,7 +3,7 @@
 #include <map>
 #include <set>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::core {
 

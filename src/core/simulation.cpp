@@ -1,6 +1,6 @@
 #include "core/simulation.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 
 namespace cbde::core {

@@ -4,7 +4,7 @@
 #include <bit>
 #include <cstring>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/varint.hpp"
 
@@ -416,8 +416,10 @@ const DeltaParams& Encoder::params() const { return impl_->params; }
 std::uint32_t Encoder::base_crc() const { return impl_->crc; }
 
 EncodeResult Encoder::encode(util::BytesView target) const {
-  return encode_with(impl_->index, util::as_view(impl_->base_bytes), impl_->crc, target,
-                     impl_->params);
+  EncodeResult result = encode_with(impl_->index, util::as_view(impl_->base_bytes),
+                                    impl_->crc, target, impl_->params);
+  CBDE_ENSURE(result.copy_bytes + result.add_bytes == target.size());
+  return result;
 }
 
 std::size_t Encoder::encode_size(util::BytesView target) const {
@@ -428,7 +430,9 @@ std::size_t Encoder::encode_size(util::BytesView target) const {
 EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaParams& params) {
   check_params(params);
   const BaseIndex index(base, params.key_len, params.index_step);
-  return encode_with(index, base, util::crc32(base), target, params);
+  EncodeResult result = encode_with(index, base, util::crc32(base), target, params);
+  CBDE_ENSURE(result.copy_bytes + result.add_bytes == target.size());
+  return result;
 }
 
 std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
@@ -467,6 +471,9 @@ DeltaInfo inspect(util::BytesView delta) {
 }
 
 util::Bytes apply(util::BytesView base, util::BytesView delta) {
+  // The base comes from the trusted side (our own store); only the delta is
+  // untrusted. A base above the decode cap can never match a valid header.
+  CBDE_EXPECT(base.size() <= kMaxDecodeTargetSize);
   std::size_t pos = 0;
   const DeltaInfo info = parse_header(delta, pos);
   if (info.base_size != base.size() || info.base_crc != util::crc32(base)) {
@@ -515,6 +522,7 @@ util::Bytes apply(util::BytesView base, util::BytesView delta) {
   if (util::crc32(util::as_view(out)) != info.target_crc) {
     throw CorruptDelta("delta: target checksum mismatch");
   }
+  CBDE_ENSURE(out.size() == info.target_size);
   return out;
 }
 

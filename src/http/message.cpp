@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "util/contracts.hpp"
 #include "util/strings.hpp"
 
 namespace cbde::http {
@@ -132,6 +133,7 @@ std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
 }
 
 util::Bytes HttpRequest::serialize() const {
+  CBDE_EXPECT(!method.empty() && !target.empty() && version.starts_with("HTTP/"));
   util::Bytes out;
   util::append(out, method);
   out.push_back(' ');
@@ -160,10 +162,13 @@ HttpRequest HttpRequest::parse(util::BytesView raw) {
   if (req.headers.contains("Content-Length") || req.headers.contains("Transfer-Encoding")) {
     req.body = parse_body(cur, req.headers);
   }
+  CBDE_ENSURE(!req.method.empty() && req.version.starts_with("HTTP/"));
   return req;
 }
 
 util::Bytes HttpResponse::serialize() const {
+  CBDE_EXPECT(status >= 100 && status <= 999);
+  CBDE_EXPECT(version.starts_with("HTTP/"));
   util::Bytes out;
   util::append(out, version);
   out.push_back(' ');
@@ -191,6 +196,7 @@ HttpResponse HttpResponse::parse(util::BytesView raw) {
   if (sp2 != std::string_view::npos) resp.reason = std::string(line.substr(sp2 + 1));
   parse_headers(cur, resp.headers);
   resp.body = parse_body(cur, resp.headers);
+  CBDE_ENSURE(resp.version.starts_with("HTTP/"));
   return resp;
 }
 

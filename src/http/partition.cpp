@@ -1,9 +1,13 @@
 #include "http/partition.hpp"
 
+#include "util/contracts.hpp"
+
 namespace cbde::http {
 
 PartitionRule::PartitionRule(const std::string& pattern)
-    : pattern_(pattern), regex_(pattern, std::regex::ECMAScript | std::regex::optimize) {}
+    : pattern_(pattern), regex_(pattern, std::regex::ECMAScript | std::regex::optimize) {
+  CBDE_EXPECT(!pattern.empty());
+}
 
 std::optional<UrlParts> PartitionRule::apply(const Url& url) const {
   std::smatch match;
@@ -24,7 +28,7 @@ UrlParts default_partition(const Url& url) {
 
   const auto segments = path_segments(url.path);
   if (!segments.empty()) {
-    parts.hint_part = std::string(segments.front());
+    parts.hint_part = percent_decode(segments.front());
     std::string rest;
     for (std::size_t i = 1; i < segments.size(); ++i) {
       if (!rest.empty()) rest += '/';
@@ -40,7 +44,7 @@ UrlParts default_partition(const Url& url) {
 
   const auto items = query_items(url.query);
   if (!items.empty()) {
-    parts.hint_part = std::string(items.front());
+    parts.hint_part = percent_decode(items.front());
     std::string rest;
     for (std::size_t i = 1; i < items.size(); ++i) {
       if (!rest.empty()) rest += '&';
@@ -59,9 +63,14 @@ bool RuleBook::has_rule(const std::string& host) const { return rules_.contains(
 
 UrlParts RuleBook::partition(const Url& url) const {
   if (const auto it = rules_.find(url.host); it != rules_.end()) {
-    if (auto parts = it->second.apply(url)) return *parts;
+    if (auto parts = it->second.apply(url)) {
+      CBDE_ENSURE(parts->server_part == url.host);
+      return *parts;
+    }
   }
-  return default_partition(url);
+  UrlParts parts = default_partition(url);
+  CBDE_ENSURE(parts.server_part == url.host);
+  return parts;
 }
 
 }  // namespace cbde::http

@@ -1,5 +1,7 @@
 #include "http/url.hpp"
 
+#include "util/contracts.hpp"
+
 namespace cbde::http {
 
 std::string Url::to_string() const {
@@ -46,6 +48,7 @@ Url parse_url(std::string_view raw) {
     }
   }
   if (url.host.empty()) throw UrlError("url: empty host in '" + std::string(raw) + "'");
+  CBDE_ENSURE(!url.path.empty() && url.path.front() == '/');
   return url;
 }
 
@@ -62,6 +65,35 @@ std::vector<std::string_view> path_segments(std::string_view path) {
     out.push_back(path.substr(start, end - start));
     start = end;
   }
+  return out;
+}
+
+std::string percent_decode(std::string_view raw) {
+  const auto hex_digit = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    // A full escape needs two more bytes; a '%' truncated at end-of-string
+    // (or followed by non-hex) is copied through, never read past.
+    if (raw[i] == '%' && raw.size() - i >= 3) {
+      const int hi = hex_digit(raw[i + 1]);
+      const int lo = hex_digit(raw[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(raw[i]);
+    ++i;
+  }
+  CBDE_ENSURE(out.size() <= raw.size());
   return out;
 }
 

@@ -39,4 +39,13 @@ std::vector<std::string_view> path_segments(std::string_view path);
 /// Split a query string into "k=v" items (on '&'); empty items dropped.
 std::vector<std::string_view> query_items(std::string_view query);
 
+/// Decode %XX percent-escapes ("%2Fa%20b" -> "/a b"). Untrusted-input safe:
+/// a '%' not followed by two hex digits — including one truncated at
+/// end-of-string ("abc%", "abc%4") — is passed through verbatim rather than
+/// read past the buffer. '+' is NOT treated as space (that is a
+/// form-encoding convention, not a URL one). default_partition() decodes the
+/// class hint with this, so "/laptops" and "/%6Captops" group into the same
+/// class instead of silently diverging.
+std::string percent_decode(std::string_view raw);
+
 }  // namespace cbde::http

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "util/clock.hpp"
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace cbde::netsim {

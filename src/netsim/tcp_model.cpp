@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::netsim {
 

@@ -1,6 +1,6 @@
 #include "proxy/gd_cache.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::proxy {
 

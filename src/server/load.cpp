@@ -5,7 +5,7 @@
 #include <tuple>
 #include <vector>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::server {
 namespace {

@@ -1,6 +1,6 @@
 #include "server/origin.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::server {
 

@@ -7,10 +7,15 @@
 #include <istream>
 #include <ostream>
 
+#include "util/contracts.hpp"
 #include "util/strings.hpp"
 
 namespace cbde::trace {
 namespace {
+
+// Logs are untrusted input; a line longer than this is treated as garbage
+// (counted as skipped) rather than parsed, bounding per-line work and memory.
+constexpr std::size_t kMaxLogLine = 64 * 1024;
 
 // Trace-local epoch for CLF timestamps; only deltas matter to the replayer.
 constexpr std::chrono::sys_days kEpochDay =
@@ -52,6 +57,9 @@ std::optional<util::SimTime> parse_time(std::string_view s) {
   const auto mm = num(15, 2);
   const auto ss = num(18, 2);
   if (!day || !year || !hh || !mm || !ss) return std::nullopt;
+  // Field-range validation: out-of-range clock fields would silently shift
+  // the timestamp by whole days ("25:00:00" parses as next day 01:00).
+  if (*hh > 23 || *mm > 59 || *ss > 59) return std::nullopt;
   const std::string_view mon = s.substr(3, 3);
   int month = -1;
   for (std::size_t i = 0; i < kMonths.size(); ++i) {
@@ -135,6 +143,8 @@ std::optional<AccessLogRecord> parse_clf(std::string_view line) {
     const auto f = fields[0];
     const auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), status);
     if (ec != std::errc{} || p != f.data() + f.size()) return std::nullopt;
+    // HTTP status codes are three digits; anything else marks a mangled line.
+    if (status < 100 || status > 999) return std::nullopt;
     rec.status = status;
   }
   {
@@ -161,6 +171,10 @@ std::vector<AccessLogRecord> read_access_log(std::istream& is, std::size_t* skip
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (line.size() > kMaxLogLine) {
+      if (skipped) ++*skipped;
+      continue;
+    }
     if (auto rec = parse_clf(line)) {
       out.push_back(std::move(*rec));
     } else if (skipped) {
@@ -184,6 +198,7 @@ std::vector<AccessLogRecord> to_records(const std::vector<Request>& requests,
     rec.bytes = site.generate(req.doc, req.user_id, req.time).size();
     out.push_back(std::move(rec));
   }
+  CBDE_ENSURE(out.size() == requests.size());
   return out;
 }
 

@@ -4,7 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 

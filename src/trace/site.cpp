@@ -2,7 +2,7 @@
 
 #include <charconv>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 
 namespace cbde::trace {

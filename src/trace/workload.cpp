@@ -1,6 +1,6 @@
 #include "trace/workload.hpp"
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::trace {
 

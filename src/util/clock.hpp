@@ -4,7 +4,7 @@
 
 #include <cstdint>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::util {
 

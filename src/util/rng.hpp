@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::util {
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::util {
 

@@ -6,7 +6,7 @@
 #include <optional>
 
 #include "util/bytes.hpp"
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::util {
 

@@ -76,6 +76,10 @@ TEST(ConfigLoader, MalformedInputsRejected) {
   EXPECT_THROW(parse("[delta-server]\nsample-prob = 0.2x\n"), ConfigError);
   EXPECT_THROW(parse("[delta-server]\nbase-store = ftp:/x\n"), ConfigError);
   EXPECT_THROW(parse("[site www.x.com]\npartition = ([unclosed\n"), ConfigError);
+  // Empty pattern must fail with the loader's typed error, not trip
+  // PartitionRule's precondition mid-construction.
+  EXPECT_THROW(parse("[site www.x.com]\npartition =\n"), ConfigError);
+  EXPECT_THROW(parse("[site www.x.com]\npartition =   \n"), ConfigError);
 }
 
 TEST(ConfigLoader, CrossFieldValidation) {

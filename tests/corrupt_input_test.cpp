@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <sstream>
 #include <string>
 
 #include "delta/delta.hpp"
@@ -239,6 +240,59 @@ TEST(CorruptAccessLog, MalformedLinesReturnNulloptNotThrow) {
   for (const char* line : cases) {
     EXPECT_FALSE(trace::parse_clf(line).has_value()) << "line: " << line;
   }
+}
+
+TEST(CorruptAccessLog, OutOfRangeClockFieldsRejected) {
+  // Three numeric fields that fit the ##:##:## shape but name no real time
+  // of day. Before the range check these silently produced a nonsense
+  // timestamp that skewed inter-arrival statistics downstream.
+  const char* cases[] = {
+      "10.0.0.1 - u42 [02/Jan/2026:24:10:09 +0000] \"GET / HTTP/1.1\" 200 5",
+      "10.0.0.1 - u42 [02/Jan/2026:00:60:09 +0000] \"GET / HTTP/1.1\" 200 5",
+      "10.0.0.1 - u42 [02/Jan/2026:00:10:60 +0000] \"GET / HTTP/1.1\" 200 5",
+  };
+  for (const char* line : cases) {
+    EXPECT_FALSE(trace::parse_clf(line).has_value()) << "line: " << line;
+  }
+  // Boundary values are legitimate wall-clock times and must keep parsing.
+  EXPECT_TRUE(
+      trace::parse_clf("10.0.0.1 - u42 [02/Jan/2026:23:59:59 +0000] "
+                       "\"GET / HTTP/1.1\" 200 5")
+          .has_value());
+}
+
+TEST(CorruptAccessLog, StatusOutsideHttpRangeRejected) {
+  // An HTTP status is three digits; 99 and 1000 parse as integers but are
+  // not statuses any server emits, so the line is malformed.
+  EXPECT_FALSE(trace::parse_clf("10.0.0.1 - u42 [02/Jan/2026:00:10:09 +0000] "
+                                "\"GET / HTTP/1.1\" 99 5")
+                   .has_value());
+  EXPECT_FALSE(trace::parse_clf("10.0.0.1 - u42 [02/Jan/2026:00:10:09 +0000] "
+                                "\"GET / HTTP/1.1\" 1000 5")
+                   .has_value());
+  EXPECT_TRUE(trace::parse_clf("10.0.0.1 - u42 [02/Jan/2026:00:10:09 +0000] "
+                               "\"GET / HTTP/1.1\" 100 5")
+                  .has_value());
+  EXPECT_TRUE(trace::parse_clf("10.0.0.1 - u42 [02/Jan/2026:00:10:09 +0000] "
+                               "\"GET / HTTP/1.1\" 999 5")
+                  .has_value());
+}
+
+TEST(CorruptAccessLog, OverlongLineSkippedNotBuffered) {
+  // A line past the 64 KiB cap is dropped (and counted) before any field
+  // parsing, so a log with an embedded runaway line cannot force the
+  // reader to hold or scan an unbounded buffer.
+  const std::string good =
+      "10.0.0.1 - u42 [02/Jan/2026:00:10:09 +0000] \"GET / HTTP/1.1\" 200 5";
+  std::string overlong = good;
+  overlong += " \"";
+  overlong.append(64 * 1024, 'x');
+  overlong += '"';
+  std::istringstream in(good + "\n" + overlong + "\n" + good + "\n");
+  std::size_t skipped = 0;
+  const auto records = trace::read_access_log(in, &skipped);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(skipped, 1u);
 }
 
 TEST(CorruptAccessLog, ValidLineStillParses) {

@@ -1,6 +1,7 @@
 // Decoder robustness fuzzing: CBD1 deltas, VCDIFF deltas, CBZ1 compressed
-// blocks, Apache CLF access-log lines, HTTP/1.1 messages, and cbde.conf
-// files.
+// blocks, Apache CLF access-log lines and streams (trace::parse_clf +
+// trace::read_access_log, checked differentially), HTTP/1.1 messages, and
+// cbde.conf files.
 //
 // Every byte stream a delta-server deployment decodes crosses a trust
 // boundary, so each decoder must satisfy one contract on arbitrary input:
@@ -16,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -222,13 +224,41 @@ bool fuzz_compress(std::uint64_t seed, std::size_t iters) {
 }
 
 bool fuzz_access_log(std::uint64_t seed, std::size_t iters) {
-  return run_target("access_log", seed, iters, make_access_log_corpus(),
-                    [&](BytesView input) {
-                      // parse_clf reports malformed lines via nullopt and
-                      // must never throw; any exception fails the harness.
-                      const std::string line(util::as_string_view(input));
-                      return trace::parse_clf(line).has_value();
-                    });
+  return run_target(
+      "access_log", seed, iters, make_access_log_corpus(), [&](BytesView input) {
+        // parse_clf reports malformed lines via nullopt and must never
+        // throw; any exception fails the harness.
+        const std::string text(util::as_string_view(input));
+        const bool parsed = trace::parse_clf(text).has_value();
+        // trace::read_access_log consumes whole untrusted streams and must
+        // agree with per-line parse_clf: every non-empty line becomes a
+        // record or counts as skipped — never an exception, never silently
+        // dropped. (Overlong-line rejection can't diverge here: mutated
+        // inputs stay far below the reader's line cap.)
+        std::size_t expect_ok = 0;
+        std::size_t expect_skipped = 0;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+          if (line.empty()) continue;
+          if (trace::parse_clf(line)) {
+            ++expect_ok;
+          } else {
+            ++expect_skipped;
+          }
+        }
+        std::istringstream stream(text);
+        std::size_t skipped = 0;
+        const auto records = trace::read_access_log(stream, &skipped);
+        if (records.size() != expect_ok || skipped != expect_skipped) {
+          throw std::logic_error(
+              "read_access_log disagrees with parse_clf: got " +
+              std::to_string(records.size()) + " records + " +
+              std::to_string(skipped) + " skipped, expected " +
+              std::to_string(expect_ok) + " + " + std::to_string(expect_skipped));
+        }
+        return parsed;
+      });
 }
 
 bool fuzz_http(std::uint64_t seed, std::size_t iters) {

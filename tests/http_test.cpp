@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "http/message.hpp"
 #include "http/partition.hpp"
 #include "http/url.hpp"
+#include "util/contracts.hpp"
 
 namespace cbde::http {
 namespace {
@@ -57,6 +61,48 @@ TEST(Url, PathSegments) {
   EXPECT_TRUE(path_segments("").empty());
 }
 
+TEST(Url, EmptyQueryAfterQuestionMark) {
+  // "?" with nothing after it: the query is empty, and serialization drops
+  // the dangling '?' rather than echoing it back.
+  const Url u = parse_url("www.foo.com/laptops?");
+  EXPECT_EQ(u.path, "/laptops");
+  EXPECT_TRUE(u.query.empty());
+  EXPECT_EQ(u.request_target(), "/laptops");
+  EXPECT_EQ(u.to_string(), "http://www.foo.com/laptops");
+}
+
+TEST(Url, PercentDecodeBasics) {
+  EXPECT_EQ(percent_decode("laptops"), "laptops");
+  EXPECT_EQ(percent_decode("%6Captops"), "laptops");
+  EXPECT_EQ(percent_decode("%6captops"), "laptops");  // lowercase hex
+  EXPECT_EQ(percent_decode("a%20b"), "a b");
+  EXPECT_EQ(percent_decode(""), "");
+  // '+' is form encoding, not percent encoding; it passes through.
+  EXPECT_EQ(percent_decode("a+b"), "a+b");
+}
+
+TEST(Url, PercentDecodeTruncatedEscapePassesThrough) {
+  // A '%' with fewer than two bytes left (or non-hex continuation) is
+  // copied verbatim — the decoder must never read past end-of-string.
+  EXPECT_EQ(percent_decode("abc%"), "abc%");
+  EXPECT_EQ(percent_decode("abc%4"), "abc%4");
+  EXPECT_EQ(percent_decode("abc%zz"), "abc%zz");
+  EXPECT_EQ(percent_decode("%"), "%");
+  EXPECT_EQ(percent_decode("%%41"), "%A");  // first '%' literal, second decodes
+}
+
+TEST(Url, OverLongPathSegmentsParse) {
+  // Pathological but well-formed: one segment far past any realistic URL
+  // length still round-trips without truncation.
+  const std::string seg(100 * 1024, 'a');
+  const Url u = parse_url("www.foo.com/" + seg + "/tail?x=1");
+  const auto segs = path_segments(u.path);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].size(), seg.size());
+  EXPECT_EQ(segs[1], "tail");
+  EXPECT_EQ(u.query, "x=1");
+}
+
 TEST(Url, QueryItems) {
   const auto items = query_items("a=1&b=2&&c");
   ASSERT_EQ(items.size(), 3u);
@@ -89,6 +135,22 @@ TEST(Partition, TableIRowThree) {
   EXPECT_EQ(parts.hint_part, "laptops");
   EXPECT_EQ(parts.rest, "100");
 }
+
+TEST(Partition, PercentEncodedHintGroupsWithPlainForm) {
+  // "/%6Captops" and "/laptops" name the same resource; the default
+  // partitioner decodes the hint so both URLs land in the same class.
+  const UrlParts plain = default_partition(parse_url("www.foo.com/laptops?id=100"));
+  const UrlParts encoded =
+      default_partition(parse_url("www.foo.com/%6Captops?id=100"));
+  EXPECT_EQ(encoded.hint_part, plain.hint_part);
+  EXPECT_EQ(encoded.hint_part, "laptops");
+}
+
+#if CBDE_CONTRACTS_LEVEL >= 1
+TEST(Partition, EmptyPatternRejectedAtConstruction) {
+  EXPECT_THROW(PartitionRule(""), std::invalid_argument);
+}
+#endif
 
 TEST(Partition, BareRootHasEmptyHint) {
   const UrlParts parts = default_partition(parse_url("www.foo.com"));

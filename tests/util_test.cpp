@@ -7,7 +7,7 @@
 
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
-#include "util/expect.hpp"
+#include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

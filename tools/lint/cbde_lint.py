@@ -21,6 +21,13 @@ ci.sh over src/ tests/ bench/. Checks, each with a stable id:
                   registered fuzz target: the target name must appear in
                   tests/fuzz/CMakeLists.txt and the entry-point symbol in
                   tests/fuzz/fuzz_main.cpp.
+  contracts-form  CBDE_EXPECT / CBDE_ENSURE / CBDE_ASSERT /
+                  CBDE_ASSERT_INVARIANT conditions must be pure — no ++/--,
+                  assignment, container mutation, or new/delete — so the
+                  configured contract level (see src/util/contracts.hpp)
+                  can never change program behavior. Bare assert() is
+                  banned outside tests/ and bench/: use CBDE_ASSERT so the
+                  check participates in the contract-level scheme.
   obs-metric      every metric registered against the obs registry
                   (counter/double_counter/gauge/histogram with a literal
                   name) must follow the cbde_<layer>_<name>[_unit] naming
@@ -85,8 +92,18 @@ FUZZ_REQUIRED = {
     "http::HttpRequest::parse": "http",
     "http::HttpResponse::parse": "http",
     "trace::parse_clf": "access_log",
+    "trace::read_access_log": "access_log",
     "core::load_config": "config",
 }
+
+# Side effects that must never appear inside a contract condition: the
+# lookbehind/lookahead on `=` spare the comparison operators.
+CONTRACT_MACRO = re.compile(r"\bCBDE_(?:EXPECT|ENSURE|ASSERT|ASSERT_INVARIANT)\s*\(")
+CONTRACT_SIDE_EFFECT = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?!=)|\bnew\b|\bdelete\b|"
+    r"\.(?:push_back|pop_back|emplace|emplace_back|insert|erase|clear|"
+    r"reset|release|resize|reserve|assign)\s*\(")
+BARE_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
 
 
 # A registration call with a literal metric name: .counter("..."),
@@ -212,6 +229,37 @@ def check_catch_swallow(path: Path, text: str, findings: list[Finding]) -> None:
                 "or log (or annotate `// lint: swallow-ok <reason>`)"))
 
 
+def check_contracts_form(path: Path, lines: list[str], findings: list[Finding]) -> None:
+    stripped = "\n".join(strip_code_noise(line) for line in lines)
+    for m in CONTRACT_MACRO.finditer(stripped):
+        depth, j = 1, stripped.index("(", m.end() - 1) + 1
+        start = j
+        while j < len(stripped) and depth:
+            if stripped[j] == "(":
+                depth += 1
+            elif stripped[j] == ")":
+                depth -= 1
+            j += 1
+        cond = stripped[start:j - 1]
+        se = CONTRACT_SIDE_EFFECT.search(cond)
+        if se:
+            line_no = stripped.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                "contracts-form", path, line_no,
+                f"contract condition contains a side effect (`{se.group(0).strip()}`); "
+                "conditions must be pure so the contract level cannot change "
+                "program behavior"))
+    rel = rel_posix(path)
+    if rel.startswith(("tests/", "bench/")):
+        return
+    for i, line in enumerate(lines, 1):
+        if BARE_ASSERT.search(strip_code_noise(line)):
+            findings.append(Finding(
+                "contracts-form", path, i,
+                "bare assert(); use CBDE_ASSERT from util/contracts.hpp so the "
+                "check participates in the contract-level scheme"))
+
+
 def strip_comment(line: str) -> str:
     """Drop a trailing // comment but KEEP string literals intact — the
     obs-metric check reads names out of the literals strip_code_noise would
@@ -321,6 +369,7 @@ def lint_paths(dirs: list[Path], root: Path) -> list[Finding]:
         check_nolint_form(path, lines, findings)
         check_banned_fn(path, lines, findings)
         check_catch_swallow(path, text, findings)
+        check_contracts_form(path, lines, findings)
         collect_obs_registrations(path, lines, obs_sites)
     check_obs_metrics(obs_sites, findings)
     check_fuzz_coverage(root, findings)
@@ -337,6 +386,13 @@ SEEDED_VIOLATIONS = {
     "banned-fn": "int pick() { return rand() % 6; }\n"
                  "void copy(char* d, const char* s) { strcpy(d, s); }\n",
     "catch-swallow": "void f() { try { g(); } catch (...) { } }\n",
+    # Three distinct contracts-form violations: mutation inside a contract
+    # condition (two flavors) and a bare assert outside tests/.
+    "contracts-form": "void f(std::vector<int>& v, int counter) {\n"
+                      "  CBDE_EXPECT(!v.empty() && ++counter > 0);\n"
+                      "  CBDE_ENSURE(v.erase(v.begin()) != v.end());\n"
+                      "  assert(!v.empty());\n"
+                      "}\n",
     # Three distinct obs-metric violations: bad casing, duplicate
     # registration, and a counter without the _total suffix.
     "obs-metric": "void wire(cbde::obs::MetricsRegistry& reg) {\n"
@@ -354,6 +410,11 @@ SEEDED_CLEAN = (
     "int z = get();  // NOLINT(cert-err34-c) value range pre-checked above\n"
     "void f() { try { g(); } catch (...) { std::fprintf(stderr, \"x\\n\"); } }\n"
     "void h() { try { g(); } catch (...) { throw; } }\n"
+    "void k(std::size_t version, const Doc& doc) {\n"
+    "  CBDE_EXPECT(version > 0 && !doc.empty());\n"
+    "  CBDE_ENSURE(doc.size() <= kMaxDoc);  // comparisons are not mutations\n"
+    "  CBDE_ASSERT_INVARIANT(doc.ok() == true);\n"
+    "}\n"
     "void wire(cbde::obs::MetricsRegistry& reg) {\n"
     '  reg.counter("cbde_seed_requests_total", "well-formed, one site");\n'
     '  reg.gauge(\n      "cbde_seed_queue_depth", "wrapped call still collected");\n'
