@@ -27,8 +27,11 @@ fi
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== cbde sema (self-test, then full tree vs baseline) =="
+  # Runs all six passes — taint, lock-order, contracts, and the
+  # shard-readiness trio (escape, atomics, blocking) — against the empty
+  # baseline, and emits the lock-hotspot ranking printed at the end of CI.
   python3 tools/analyze/cbde_sema.py --self-test
-  python3 tools/analyze/cbde_sema.py
+  python3 tools/analyze/cbde_sema.py --hotspots build/sema_hotspots.json
 else
   echo "== SKIPPED: python3 not installed — cbde sema NOT run ==" >&2
 fi
@@ -39,6 +42,13 @@ cmake --build --preset asan-ubsan -j "$JOBS"
 
 echo "== ctest under ASan+UBSan (unit + property + fuzz) =="
 ctest --preset asan-ubsan -j "$JOBS"
+
+echo "== deterministic interleaving explorer (tests/schedule, fixed budget) =="
+# The explorer must re-find the seeded double-join race on the reverted-fix
+# fixture and exhaust the fixed protocols' schedule spaces clean; the
+# pinned budget keeps the run reproducible across machines.
+CBDE_SCHED_BUDGET=20000 ctest --preset asan-ubsan \
+  -R 'Scheduler\.|ScheduleExplorer\.' --output-on-failure
 
 echo "== threaded stress under TSan (DeltaServerPool) =="
 cmake --preset tsan
@@ -88,6 +98,23 @@ echo "== contracts audit build (CBDE_CONTRACTS=audit) + full ctest =="
 cmake --preset contracts
 cmake --build --preset contracts -j "$JOBS"
 ctest --preset contracts -j "$JOBS"
+
+# Surface the lock-hotspot ranking (the evidence that picks the shard
+# boundaries for ROADMAP item 1) where CI logs are easy to grab.
+if [ -f build/sema_hotspots.json ] && command -v python3 >/dev/null 2>&1; then
+  echo "== lock-hotspot report (build/sema_hotspots.json, top 5) =="
+  python3 - <<'EOF'
+import json
+with open("build/sema_hotspots.json") as f:
+    report = json.load(f)
+for section in report["sections"][:5]:
+    print(f"  #{section['rank']:<2} weight {section['weight']:>5}  "
+          f"{section['function']} [{section['mutex']}] "
+          f"{section['file']}:{section['line']}")
+EOF
+else
+  echo "== NOTE: build/sema_hotspots.json not generated (python3 missing?) ==" >&2
+fi
 
 if [ "${1:-}" = "--fast" ]; then
   echo "== Clang stages skipped (--fast): thread-safety analysis, clang-tidy =="

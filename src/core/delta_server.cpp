@@ -10,8 +10,7 @@ DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
     : config_(config),
       rules_(std::move(rules)),
       store_(store ? std::move(store) : std::make_unique<MemoryBaseStore>()),
-      classes_(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull),
-      rng_(config.seed),
+      shard_(config),
       obs_(config.obs_instance ? config.obs_instance
                                : std::make_shared<obs::Obs>(config.obs)) {
   // Registry instruments are the storage behind PipelineMetrics (metrics()
@@ -88,10 +87,10 @@ PipelineMetrics DeltaServer::metrics() const {
 }
 
 DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
-  auto it = states_.find(id);
-  if (it == states_.end()) {
-    it = states_
-             .emplace(id, std::make_unique<ClassState>(config_, rng_.next_u64()))
+  auto it = shard().states.find(id);
+  if (it == shard().states.end()) {
+    it = shard().states
+             .emplace(id, std::make_unique<ClassState>(config_, shard().rng.next_u64()))
              .first;
     it->second->selector.set_instruments(instr_.selector);
     it->second->anonymizer.set_instruments(instr_.anonymizer);
@@ -101,6 +100,7 @@ DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
 
 std::shared_ptr<const delta::Encoder> DeltaServer::make_working_encoder(
     util::BytesView doc) const {
+  // sema: ok(light-param index built once per class creation, not per request; moving it off-lock is ROADMAP item 1)
   return std::make_shared<const delta::Encoder>(util::Bytes(doc.begin(), doc.end()),
                                                 config_.grouping.light_params);
 }
@@ -108,6 +108,7 @@ std::shared_ptr<const delta::Encoder> DeltaServer::make_working_encoder(
 void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime now) {
   if (!config_.anonymize) {
     // No privacy requirement: publish the working base immediately.
+    // sema: ok(transmit index built only on publication (class create/rebase), not per request; off-lock rebuild is ROADMAP item 1)
     cls.transmit_encoder = std::make_shared<const delta::Encoder>(
         cls.working_encoder->base(), config_.transmit_params);
     ++cls.published_version;
@@ -121,6 +122,7 @@ void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime n
 void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
                                              util::SimTime now) {
   if (!cls.anonymizer.ready()) return;
+  // sema: ok(transmit index rebuilt only when an anonymization round completes, not per request; off-lock rebuild is ROADMAP item 1)
   cls.transmit_encoder = std::make_shared<const delta::Encoder>(
       cls.anonymizer.finalize(), config_.transmit_params);
   ++cls.published_version;
@@ -172,10 +174,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     {
       const std::uint64_t key =
           util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
-      auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
+      auto [it, inserted] = shard().classless_docs.try_emplace(key, doc.size());
       const std::size_t previous = inserted ? 0 : it->second;
-      classless_storage_bytes_ += doc.size();
-      classless_storage_bytes_ -= previous;
+      shard().classless_storage_bytes += doc.size();
+      shard().classless_storage_bytes -= previous;
       it->second = doc.size();
     }
 
@@ -185,9 +187,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     // but the analysis cannot see into the lambda, so it reaches the class
     // table through a local alias established under the lock.
     const http::UrlParts parts = rules_.partition(url);
-    const auto& states = states_;
+    const auto& states = shard().states;
     const auto decision =
-        classes_.group(parts, doc, [&states](ClassId id) -> const delta::Encoder* {
+        // sema: ok(probe callback runs synchronously inside group() while mu_ is held; ClassManager never stores it)
+        shard().classes.group(parts, doc, [&states](ClassId id) -> const delta::Encoder* {
           const auto it = states.find(id);
           return it == states.end() ? nullptr : it->second->working_encoder.get();
         });
@@ -199,13 +202,14 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     group_span.tag("tries", std::to_string(decision.tries));
     if (decision.created) {
       instr_.classes_created->inc();
-      instr_.classes->set(static_cast<std::int64_t>(classes_.num_classes()));
+      instr_.classes->set(static_cast<std::int64_t>(shard().classes.num_classes()));
       obs_->emit(obs::EventKind::kClassCreated, now, decision.id,
                  {{"user", std::to_string(user_id)},
                   {"tries", std::to_string(decision.tries)}});
     }
 
     ClassState& cls = state_of(decision.id);
+    // sema: ok(ClassState nodes are never erased; phase 2 reads only the immutable encoder snapshot and phase 3 retakes mu_ before touching fields)
     cls_ptr = &cls;
     const bool creating = decision.created || cls.working_encoder == nullptr;
     if (creating) {
@@ -271,11 +275,11 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
       out.mode = ServedResponse::Mode::kDelta;
       out.base_version = snap_version;
       const auto key = std::make_pair(user_id, out.class_id);
-      const auto it = client_versions_.find(key);
-      if (it == client_versions_.end() || it->second != snap_version) {
+      const auto it = shard().client_versions.find(key);
+      if (it == shard().client_versions.end() || it->second != snap_version) {
         out.base_needed = true;
         out.base_size = transmit->base().size();
-        client_versions_[key] = snap_version;
+        shard().client_versions[key] = snap_version;
       }
       out.wire_body = std::move(delta_wire);
       out.wire_compressed = config_.compress_deltas;
@@ -342,18 +346,22 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
 
 std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id) const {
   const LockGuard lock(mu_);
-  const auto it = states_.find(id);
-  if (it == states_.end() || it->second->published_version == 0) return std::nullopt;
-  return PublishedBase{it->second->published_version,
-                       util::as_view(it->second->transmit_encoder->base())};
+  const auto it = shard().states.find(id);
+  if (it == shard().states.end() || it->second->published_version == 0) return std::nullopt;
+  // Hand out a shared_ptr snapshot alongside the view: the encoder (and the
+  // base bytes the view points into) stay alive even if a rebase swaps
+  // transmit_encoder right after the lock drops.
+  std::shared_ptr<const delta::Encoder> keep = it->second->transmit_encoder;
+  return PublishedBase{it->second->published_version, util::as_view(keep->base()),
+                       std::move(keep)};
 }
 
 std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
                                                    std::uint32_t version) const {
   const LockGuard lock(mu_);
   // Hot path: the current version is cached in memory.
-  const auto it = states_.find(id);
-  if (it != states_.end() && it->second->published_version == version &&
+  const auto it = shard().states.find(id);
+  if (it != shard().states.end() && it->second->published_version == version &&
       version != 0) {
     return it->second->transmit_encoder->base();
   }
@@ -363,11 +371,11 @@ std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
 std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
   const LockGuard lock(mu_);
   std::vector<ClassSummary> out;
-  out.reserve(states_.size());
-  for (const auto& [id, cls] : states_) {
+  out.reserve(shard().states.size());
+  for (const auto& [id, cls] : shard().states) {
     ClassSummary summary;
     summary.id = id;
-    summary.members = classes_.members_of(id);
+    summary.members = shard().classes.members_of(id);
     summary.published_version = cls->published_version;
     summary.published_size =
         cls->transmit_encoder ? cls->transmit_encoder->base().size() : 0;
@@ -385,7 +393,7 @@ std::size_t DeltaServer::storage_bytes() const {
   // Retained published versions live in the base store (the in-memory copy
   // of each current base is a cache, not extra footprint).
   std::size_t total = store_->bytes_stored();
-  for (const auto& [id, cls] : states_) {
+  for (const auto& [id, cls] : shard().states) {
     total += cls->working_encoder ? cls->working_encoder->base().size() : 0;
     total += cls->anonymizer.in_progress() ? cls->anonymizer.pending_base().size() : 0;
     // Selector samples are part of the server-side footprint too.

@@ -137,10 +137,13 @@ class DeltaServer {
                        std::shared_ptr<obs::TraceContext> trace = nullptr)
       EXCLUDES(mu_);
 
-  /// Published (client-visible) base-file of a class, if any.
+  /// Published (client-visible) base-file of a class, if any. `bytes` views
+  /// storage owned by `keepalive`, so the view stays valid after the server
+  /// rebases the class (or is destroyed) — callers need no lock discipline.
   struct PublishedBase {
     std::uint32_t version = 0;
     util::BytesView bytes;
+    std::shared_ptr<const delta::Encoder> keepalive;
   };
   std::optional<PublishedBase> published_base(ClassId id) const EXCLUDES(mu_);
 
@@ -167,7 +170,7 @@ class DeltaServer {
   /// Consistent snapshot of the grouping statistics (§III instrumentation).
   GroupingStats grouping_stats() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return classes_.stats();
+    return shard().classes.stats();
   }
   const http::RuleBook& rules() const { return rules_; }
 
@@ -191,12 +194,12 @@ class DeltaServer {
   /// distinct (user, URL) pair seen.
   std::size_t classless_storage_bytes() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return classless_storage_bytes_;
+    return shard().classless_storage_bytes;
   }
 
   std::size_t num_classes() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return classes_.num_classes();
+    return shard().classes.num_classes();
   }
 
  private:
@@ -253,6 +256,35 @@ class DeltaServer {
     AnonymizerInstruments anonymizer;
   };
 
+  /// Every mutable field mu_ protects, gathered into one value so ROADMAP
+  /// item 1 (sharding the server) becomes `std::vector<ShardState>` plus a
+  /// partition hash instead of field-by-field surgery. Pure container: all
+  /// behavior stays on DeltaServer.
+  struct ShardState {
+    explicit ShardState(const DeltaServerConfig& config)
+        : classes(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull),
+          rng(config.seed) {}
+
+    ClassManager classes;
+    /// ClassState objects are owned by unique_ptr map values and never
+    /// erased, so a ClassState* stays valid across an unlock — but its
+    /// fields follow the map's discipline: touch them only while holding
+    /// the owning shard's mutex.
+    std::map<ClassId, std::unique_ptr<ClassState>> states;
+    /// Base version each (client, class) currently holds.
+    std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions;
+    /// Distinct (user, url) -> last document size, for the
+    /// classless-storage comparison.
+    std::map<std::uint64_t, std::size_t> classless_docs;
+    std::size_t classless_storage_bytes = 0;
+    util::Rng rng;
+  };
+
+  /// Accessors keep call sites shard-count agnostic: when the server
+  /// shards, these become shard_for(key) without touching callers.
+  ShardState& shard() REQUIRES(mu_) { return shard_; }
+  const ShardState& shard() const REQUIRES(mu_) { return shard_; }
+
   ClassState& state_of(ClassId id) REQUIRES(mu_);
   std::shared_ptr<const delta::Encoder> make_working_encoder(util::BytesView doc) const;
   void start_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
@@ -265,19 +297,7 @@ class DeltaServer {
   /// The pointer is immutable after construction; the store itself is
   /// internally synchronized (see BaseStore), so it carries no GUARDED_BY.
   std::unique_ptr<BaseStore> store_;
-  ClassManager classes_ GUARDED_BY(mu_);
-  /// ClassState objects are owned by unique_ptr map values and never
-  /// erased, so a ClassState* stays valid across an unlock — but its fields
-  /// follow the map's discipline: touch them only while holding mu_.
-  std::map<ClassId, std::unique_ptr<ClassState>> states_ GUARDED_BY(mu_);
-  /// Base version each (client, class) currently holds.
-  std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions_
-      GUARDED_BY(mu_);
-  /// Distinct (user, url) -> last document size, for the classless-storage
-  /// comparison.
-  std::map<std::uint64_t, std::size_t> classless_docs_ GUARDED_BY(mu_);
-  std::size_t classless_storage_bytes_ GUARDED_BY(mu_) = 0;
-  util::Rng rng_ GUARDED_BY(mu_);
+  ShardState shard_ GUARDED_BY(mu_);
   std::shared_ptr<obs::Obs> obs_;  // immutable after construction
   Instruments instr_;              // immutable after construction
   mutable Mutex mu_;

@@ -22,6 +22,7 @@ EventLog::EventLog(std::size_t ring_capacity)
 
 bool EventLog::open(const std::filesystem::path& path) {
   const LockGuard lock(mu_);
+  // sema: ok(one-time setup before the run starts, not on the serve path)
   sink_.open(path, std::ios::out | std::ios::app);
   return sink_.is_open();
 }
@@ -32,6 +33,7 @@ void EventLog::emit(Event event) {
 #else
   const LockGuard lock(mu_);
   ++emitted_;
+  // sema: ok(events are rare by contract (publications/rebases, not per request) and the stream is buffered)
   if (sink_.is_open()) sink_ << to_jsonl(event) << '\n';
   ring_.push_back(std::move(event));
   while (ring_.size() > capacity_) ring_.pop_front();
@@ -50,6 +52,7 @@ std::uint64_t EventLog::emitted() const {
 
 void EventLog::flush() {
   const LockGuard lock(mu_);
+  // sema: ok(explicit operator action at shutdown/checkpoints, never on the serve path)
   if (sink_.is_open()) sink_.flush();
 }
 

@@ -69,8 +69,8 @@ class Obs {
   MetricsRegistry registry_;
   EventLog events_;
   std::uint64_t sample_period_;  ///< 0 = never, N = every N-th request
-  std::atomic<std::uint64_t> sample_seq_{0};
-  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::uint64_t> sample_seq_{0};     // atomic: counter
+  std::atomic<std::uint64_t> next_trace_id_{1};  // atomic: counter
   Counter* traces_sampled_ = nullptr;
   Counter* events_emitted_ = nullptr;
 };

@@ -455,8 +455,8 @@ TEST(DeltaServerPool, SubmitRacingShutdownNeverLeaksAFuture) {
   }
 
   DeltaWorkerPool pool(server, 2, /*queue_capacity=*/4);
-  std::atomic<std::size_t> served{0};
-  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> served{0};    // atomic: counter
+  std::atomic<std::size_t> rejected{0};  // atomic: counter
   std::vector<std::thread> producers;
   producers.reserve(kProducers);
   for (std::size_t p = 0; p < kProducers; ++p) {
@@ -466,17 +466,20 @@ TEST(DeltaServerPool, SubmitRacingShutdownNeverLeaksAFuture) {
           auto f = pool.submit(1 + p, urls[i], docs[i],
                                static_cast<util::SimTime>(i));
           (void)f.get();  // must become ready: served before join
-          served.fetch_add(1);
+          served.fetch_add(1, std::memory_order_relaxed);
         } catch (const std::runtime_error&) {
-          rejected.fetch_add(1);  // pool was already stopping
+          // pool was already stopping
+          rejected.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
   }
   pool.shutdown();
   for (auto& t : producers) t.join();
-  EXPECT_EQ(served.load() + rejected.load(), kProducers * kPerProducer);
-  EXPECT_EQ(server.metrics().requests, served.load());
+  EXPECT_EQ(served.load(std::memory_order_relaxed) +
+                rejected.load(std::memory_order_relaxed),
+            kProducers * kPerProducer);
+  EXPECT_EQ(server.metrics().requests, served.load(std::memory_order_relaxed));
 }
 
 TEST(DeltaServer, FallsBackToDirectWhenDeltaUseless) {

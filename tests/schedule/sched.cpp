@@ -1,0 +1,279 @@
+#include "sched.hpp"
+
+namespace cbde::sched {
+namespace {
+
+// Identity of the task the calling thread runs, kSchedulerTurn-like -1 on
+// the exploring (main) thread. One scheduler runs at a time per thread, so
+// a plain thread_local is enough.
+thread_local int tls_task_id = -1;
+
+}  // namespace
+
+Scheduler::Scheduler(std::vector<int> decisions, int preemption_bound)
+    : preemption_bound_(preemption_bound) {
+  LockGuard lock(mu_);
+  decisions_ = std::move(decisions);
+}
+
+void Scheduler::spawn(std::function<void()> body) {
+  LockGuard lock(mu_);
+  Task task;
+  task.body = std::move(body);
+  tasks_.push_back(std::move(task));
+}
+
+int Scheduler::current_id() const { return tls_task_id; }
+
+void Scheduler::fail(const std::string& what) {
+  if (!failed_) {
+    failed_ = true;
+    failure_ = what;
+  }
+  abort_ = true;
+}
+
+void Scheduler::throw_if_aborted() {
+  if (abort_) throw TaskAborted{};
+}
+
+void Scheduler::yield_to_scheduler(int id) {
+  turn_ = kSchedulerTurn;
+  cv_.notify_all();
+  while (turn_ != id) cv_.wait(mu_);
+  throw_if_aborted();
+}
+
+void Scheduler::block_on(int id, WaitKind kind, const void* on) {
+  tasks_[static_cast<std::size_t>(id)].state = TaskState::kBlocked;
+  tasks_[static_cast<std::size_t>(id)].wait_kind = kind;
+  tasks_[static_cast<std::size_t>(id)].wait_on = on;
+  yield_to_scheduler(id);
+}
+
+void Scheduler::wake_waiters(WaitKind kind, const void* on) {
+  for (auto& task : tasks_) {
+    if (task.state == TaskState::kBlocked && task.wait_kind == kind &&
+        task.wait_on == on) {
+      task.state = TaskState::kReady;
+      task.wait_kind = WaitKind::kNone;
+      task.wait_on = nullptr;
+    }
+  }
+}
+
+void Scheduler::point() {
+  const int id = current_id();
+  LockGuard lock(mu_);
+  throw_if_aborted();
+  yield_to_scheduler(id);
+}
+
+void Scheduler::check(bool ok, const std::string& what) {
+  if (ok) return;
+  LockGuard lock(mu_);
+  if (!abort_) fail("model assertion failed: " + what);
+  throw TaskAborted{};
+}
+
+void Scheduler::acquire(const SchedMutex* m) {
+  const int id = current_id();
+  LockGuard lock(mu_);
+  throw_if_aborted();
+  // Acquisition is a scheduling point even when the mutex is free: the
+  // interesting interleavings are exactly the ones where another task slips
+  // in just before the lock is taken.
+  yield_to_scheduler(id);
+  MutexState& state = mutexes_[m];
+  while (state.held) {
+    block_on(id, WaitKind::kMutex, m);
+  }
+  state.held = true;
+  state.owner = id;
+}
+
+void Scheduler::release(const SchedMutex* m) {
+  // NOT a scheduling point, and never throws: this runs from noexcept guard
+  // destructors (possibly mid-unwind after an abort). The released waiters
+  // become ready; the very next acquire/point/wait of any task is where the
+  // scheduler branches. Models place an explicit point() where the gap
+  // right after an unlock matters.
+  LockGuard lock(mu_);
+  MutexState& state = mutexes_[m];
+  state.held = false;
+  state.owner = kSchedulerTurn;
+  wake_waiters(WaitKind::kMutex, m);
+}
+
+void Scheduler::cv_wait(const SchedCondVar* cv, const SchedMutex* m) {
+  const int id = current_id();
+  LockGuard lock(mu_);
+  throw_if_aborted();
+  // Atomically release the mutex and start waiting (no missed-notify
+  // window), exactly like std::condition_variable::wait.
+  MutexState& state = mutexes_[m];
+  state.held = false;
+  state.owner = kSchedulerTurn;
+  wake_waiters(WaitKind::kMutex, m);
+  block_on(id, WaitKind::kCondVar, cv);
+  // Reacquire before returning to the caller's predicate loop.
+  while (state.held) {
+    block_on(id, WaitKind::kMutex, m);
+  }
+  state.held = true;
+  state.owner = id;
+}
+
+void Scheduler::cv_notify_all(const SchedCondVar* cv) {
+  const int id = current_id();
+  LockGuard lock(mu_);
+  throw_if_aborted();
+  wake_waiters(WaitKind::kCondVar, cv);
+  yield_to_scheduler(id);
+}
+
+void Scheduler::task_main(int id) {
+  std::function<void()> body;
+  {
+    LockGuard lock(mu_);
+    while (turn_ != id) cv_.wait(mu_);
+    body = tasks_[static_cast<std::size_t>(id)].body;
+  }
+  bool aborted = false;
+  try {
+    body();
+  } catch (const TaskAborted&) {
+    // lint: swallow-ok — the scheduler threw this to unwind the task; the
+    // failure is already recorded in failure_.
+    aborted = true;
+  }
+  LockGuard lock(mu_);
+  (void)aborted;
+  tasks_[static_cast<std::size_t>(id)].state = TaskState::kDone;
+  turn_ = kSchedulerTurn;
+  cv_.notify_all();
+}
+
+int Scheduler::pick(const std::vector<int>& ready) {
+  // Bounded preemption (CHESS): once the budget is spent, a still-runnable
+  // previously-active task keeps running; switches away from blocked or
+  // finished tasks are free.
+  std::vector<int> allowed = ready;
+  bool prev_ready = false;
+  for (const int id : ready) prev_ready = prev_ready || id == last_active_;
+  if (prev_ready && preemptions_ >= preemption_bound_) {
+    allowed.assign(1, last_active_);
+  }
+  if (depth_ >= decisions_.size()) decisions_.push_back(0);
+  const std::size_t index =
+      static_cast<std::size_t>(decisions_[depth_]) % allowed.size();
+  arities_.push_back(static_cast<int>(allowed.size()));
+  ++depth_;
+  const int chosen = allowed[index];
+  if (prev_ready && chosen != last_active_) ++preemptions_;
+  return chosen;
+}
+
+bool Scheduler::run() {
+  std::vector<std::thread> threads;
+  std::size_t task_count = 0;
+  {
+    LockGuard lock(mu_);
+    if (started_) {
+      fail("Scheduler::run called twice");
+      return false;
+    }
+    started_ = true;
+    task_count = tasks_.size();
+  }
+  // Spawn outside the lock: each thread immediately parks in task_main
+  // waiting for its turn, and tasks_ gains no new entries once started_.
+  threads.reserve(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    threads.emplace_back([this, i] {
+      tls_task_id = static_cast<int>(i);
+      task_main(static_cast<int>(i));
+    });
+  }
+  {
+    LockGuard lock(mu_);
+    for (;;) {
+      std::vector<int> ready;
+      bool any_pending = false;
+      for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].state == TaskState::kReady) ready.push_back(static_cast<int>(i));
+        if (tasks_[i].state != TaskState::kDone) any_pending = true;
+      }
+      if (!any_pending) break;
+      if (ready.empty()) {
+        fail("deadlock: all live tasks are blocked");
+        // Release everyone so the blocked tasks get scheduled, observe
+        // abort_, and unwind via TaskAborted.
+        for (auto& task : tasks_) {
+          if (task.state == TaskState::kBlocked) task.state = TaskState::kReady;
+        }
+        continue;
+      }
+      if (++steps_ > kMaxSteps) {
+        fail("schedule step budget exceeded (livelock?)");
+        for (auto& task : tasks_) {
+          if (task.state == TaskState::kBlocked) task.state = TaskState::kReady;
+        }
+        continue;
+      }
+      const int chosen = abort_ ? ready.front() : pick(ready);
+      last_active_ = chosen;
+      turn_ = chosen;
+      cv_.notify_all();
+      while (turn_ != kSchedulerTurn) cv_.wait(mu_);
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  return !failed_;
+}
+
+ExploreResult explore(const std::function<void(Scheduler&)>& setup,
+                      const std::function<std::string()>& finalize,
+                      std::size_t budget, int preemption_bound) {
+  ExploreResult result;
+  std::vector<int> decisions;
+  std::vector<int> arities;
+  while (result.schedules_run < budget) {
+    Scheduler sched(decisions, preemption_bound);
+    setup(sched);
+    const bool clean = sched.run();
+    ++result.schedules_run;
+    std::string message = sched.failure();
+    if (clean && finalize) message = finalize();
+    if (!message.empty()) {
+      result.failure_found = true;
+      result.failure = message;
+      result.failing_decisions = sched.decisions();
+      return result;
+    }
+    // Depth-first advance: bump the deepest decision that still has an
+    // untried alternative; drop exhausted suffixes.
+    decisions = sched.decisions();
+    arities = sched.arities();
+    while (!decisions.empty() && decisions.back() + 1 >= arities.back()) {
+      decisions.pop_back();
+      arities.pop_back();
+    }
+    if (decisions.empty()) {
+      result.exhausted = true;
+      return result;
+    }
+    ++decisions.back();
+  }
+  return result;
+}
+
+std::string replay(const std::function<void(Scheduler&)>& setup,
+                   const std::vector<int>& decisions, int preemption_bound) {
+  Scheduler sched(decisions, preemption_bound);
+  setup(sched);
+  sched.run();
+  return sched.failure();
+}
+
+}  // namespace cbde::sched

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """cbde_sema.py — semantic analysis for the CBDE tree.
 
-Three passes over the C++ sources, each reporting findings with a stable
+Six passes over the C++ sources, each reporting findings with a stable
 check id:
 
   sema-taint       untrusted bytes (decoder/parser inputs) flowing into an
@@ -15,6 +15,17 @@ check id:
                    least one contract: a CBDE_EXPECT/CBDE_ENSURE/CBDE_ASSERT
                    macro, or an early validated-reject (`if (...) throw` /
                    `return std::nullopt`), directly or in a same-file callee.
+  sema-escape      confinement analysis: references/pointers/iterators/
+                   views/lambda-captures of GUARDED_BY state must not escape
+                   the critical section (shard-readiness, ROADMAP item 1).
+  sema-atomics     every std::atomic declares a policy (`// atomic:
+                   counter|stat|handshake|seq_cst(<reason>)`) and every
+                   operation passes an explicit, policy-conforming
+                   memory_order — defaulted seq_cst is always a finding.
+  sema-blocking    no IO, foreign-condvar waits, or unbounded (Encoder)
+                   allocation while holding an annotated mutex; blocking
+                   facts propagate through call resolution, and `--hotspots`
+                   ranks every LockGuard section by static weight.
 
 Frontend: when libclang is importable (`clang.cindex`), functions and class
 members are extracted from the real AST. When it is not — the common case in
@@ -29,6 +40,8 @@ Workflow mirrors tools/lint/cbde_lint.py:
   tools/analyze/cbde_sema.py --update-baseline
   tools/analyze/cbde_sema.py --self-test      # seeded fixtures, one per violation class
   tools/analyze/cbde_sema.py --graph          # dump the lock-order graph
+  tools/analyze/cbde_sema.py --graph-dot out.dot   # lock/confinement DOT
+  tools/analyze/cbde_sema.py --hotspots build/sema_hotspots.json
 
 Known-and-reviewed findings live in tools/analyze/sema_baseline.txt; CI
 fails only when a finding NOT in the baseline appears. Suppress a reviewed
@@ -60,7 +73,8 @@ CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
 class FunctionUnit:
     """One function definition: qualified-ish name, params, stripped body."""
 
-    def __init__(self, path, name, params, body, line):
+    def __init__(self, path, name, params, body, line, ret="", trail="",
+                 body_line=None):
         self.path = path
         self.name = name  # e.g. "HttpRequest::parse" or "parse_url"
         self.simple = name.rsplit("::", 1)[-1]
@@ -68,6 +82,12 @@ class FunctionUnit:
         self.params = params  # raw parameter-list text
         self.body = body  # stripped body text (between braces)
         self.line = line  # 1-based line of the header
+        self.ret = ret  # best-effort return-type text preceding the name
+        self.trail = trail  # text between ')' and '{' (const, REQUIRES, ...)
+        # Line of the opening brace: offsets into `body` are relative to this
+        # (a multi-line header would otherwise skew every reported line, and
+        # suppression comments must land on the exact line).
+        self.body_line = line if body_line is None else body_line
 
     def param_names_and_types(self):
         out = []
@@ -104,6 +124,10 @@ class ClassInfo:
         self.mutexes = []  # member names whose type is Mutex
         self.accessors = {}  # method name -> member name it returns
         self.bases = []  # simple names of base classes
+        self.guarded = {}  # member name -> mutex named in GUARDED_BY(...)
+        self.raw_types = {}  # member name -> raw declared type text
+        self.requires_ = {}  # method name -> mutex named in REQUIRES(...)
+        self.excludes_ = {}  # method name -> mutex named in EXCLUDES(...)
 
 
 class Finding:
@@ -270,7 +294,16 @@ def extract_functions(path, stripped, cls_prefix="", base_line=1, base_off=0):
         body = stripped[open_brace + 1 : close]
         line = base_line + stripped.count("\n", 0, m.start())
         qual = f"{cls_prefix}::{name}" if cls_prefix and "::" not in name else name
-        units.append(FunctionUnit(path, qual, m.group("params"), body, line))
+        # Return-type text: the segment between the previous statement/brace
+        # boundary and the name, minus access specifiers. Only its trailing
+        # `&` / `*` is ever interpreted, so roughness is fine.
+        head = stripped[max(0, m.start() - 300) : m.start()]
+        ret = re.split(r"[;{}]", head)[-1]
+        ret = re.sub(r"\b(?:public|private|protected)\s*:", " ", ret).strip()
+        units.append(
+            FunctionUnit(path, qual, m.group("params"), body, line,
+                         ret=ret, trail=m.group("trail"),
+                         body_line=base_line + stripped.count("\n", 0, open_brace)))
         # Continue after the header so class-body scans can still find nested
         # definitions; top-level calls skip past the whole body instead.
         pos = close + 1 if cls_prefix else m.end()
@@ -289,7 +322,7 @@ MEMBER_RE = re.compile(
     r"^[ \t]*(?:mutable[ \t]+)?(?:static[ \t]+)?"
     r"(?P<type>[A-Za-z_][\w:<>,*& \t]*?)[ \t]*[&*]?[ \t]+"
     r"(?P<name>[A-Za-z_]\w*_)\s*"
-    r"(?:GUARDED_BY\s*\([^)]*\)\s*)?"
+    r"(?:GUARDED_BY\s*\((?P<guard>[^)]*)\)\s*)?"
     r"(?:=[^;]*|\{[^;{}]*\})?\s*;",
     re.M,
 )
@@ -332,8 +365,30 @@ def extract_classes(path, stripped, units_out):
         for mm in MEMBER_RE.finditer(body):
             mtype = unwrap_type(mm.group("type"))
             info.members[mm.group("name")] = mtype
+            info.raw_types[mm.group("name")] = mm.group("type").strip()
+            if mm.group("guard"):
+                info.guarded[mm.group("name")] = mm.group("guard").strip()
             if mtype == "Mutex":
                 info.mutexes.append(mm.group("name"))
+        # Method declarations carrying REQUIRES/EXCLUDES — out-of-line
+        # definitions in the .cpp lose the annotation, so it is mined from
+        # the class body here and joined back by method name.
+        for rm in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", body):
+            if rm.group(1) in NOT_FUNCTIONS:
+                continue
+            close_p = match_paren(body, rm.end() - 1)
+            if close_p < 0:
+                continue
+            tail = body[close_p + 1 : close_p + 160]
+            tm = re.match(
+                r"\s*(?:const\b\s*)?(?:noexcept\b\s*)?"
+                r"(REQUIRES|EXCLUDES)\s*\(\s*([^)]*)\)",
+                tail,
+            )
+            if tm:
+                mu = tm.group(2).split(",")[0].strip().lstrip("!").strip()
+                table = info.requires_ if tm.group(1) == "REQUIRES" else info.excludes_
+                table.setdefault(rm.group(1), mu)
         line = 1 + stripped.count("\n", 0, m.start())
         inline = extract_functions(path, body, cls_prefix=name, base_line=line)
         for u in inline:
@@ -522,7 +577,7 @@ def taint_pass(units, cfg, suppressed_by_path):
                     guarded.add(t)
 
         def report(pos, var, what):
-            line = unit.line + body.count("\n", 0, pos)
+            line = unit.body_line + body.count("\n", 0, pos)
             sup = suppressed_by_path.get(unit.path, {})
             if line in sup or (line - 1) in sup:
                 return
@@ -686,7 +741,7 @@ def lock_pass(units, classes, suppressed_by_path, graph_out=None):
                     for dst in may.get(callee, set()):
                         edge = (held, dst)
                         if edge not in edges:
-                            line = u.line + u.body.count("\n", 0, pos)
+                            line = u.body_line + u.body.count("\n", 0, pos)
                             edges[edge] = (u.path, line)
 
     if graph_out is not None:
@@ -826,6 +881,609 @@ def contracts_pass(units_by_path, entry_points, suppressed_by_path):
     return findings
 
 
+# --------------------------------------------------------------------------
+# Pass 4: confinement / escape analysis (sema-escape)
+#
+# For every GUARDED_BY field, anything that aliases it — references, raw
+# pointers, iterators, views, ref-capturing lambdas — must stay inside the
+# critical section. Sanctioned copies (values, shared_ptr snapshots) are not
+# aliases. Three finding shapes:
+#   * a non-REQUIRES method returns a reference/pointer/view/iterator rooted
+#     in guarded state (the caller outlives the lock);
+#   * a lambda captures guarded state by reference (callbacks may outlive
+#     the critical section — synchronous-by-contract ones get `sema: ok`);
+#   * a guarded alias is stored into a local declared *outside* the lock
+#     scope (it survives the unlock).
+# --------------------------------------------------------------------------
+
+REF_DECL_RE = re.compile(
+    r"\b(?:const\s+)?(?:auto|[A-Za-z_][\w:<>]*)\s*&\s*"
+    r"([A-Za-z_]\w*)\s*=\s*([^;]+);"
+)
+STMT_ASSIGN_RE = re.compile(
+    r"(?:^|[;{}])\s*"
+    r"(?P<prefix>(?:const\s+)?(?:[A-Za-z_][\w:]*(?:\s*<[^;<>]*>)?\s+|auto\s+)?[*]?\s*)"
+    r"(?P<name>[A-Za-z_]\w*)\s*=\s*(?P<rhs>[^;]*);"
+)
+PRODUCER_RE = re.compile(
+    r"(?:\.|->)\s*(?:find|begin|end|rbegin|rend|lower_bound|upper_bound|data|get)\s*\("
+)
+WHOLE_EXPR_PRODUCER_RE = re.compile(
+    r"^\s*\*?\s*([A-Za-z_]\w*)(?:(?:\.|->)[A-Za-z_]\w*)*\s*"
+    r"(?:\.|->)\s*(?:begin|end|data|get|c_str)\s*\(\s*\)\s*$"
+)
+LAMBDA_RE = re.compile(
+    r"\[([^\[\]\n]*)\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?(?:->\s*[^{;]*?)?\{"
+)
+RETURN_RE = re.compile(r"\breturn\b([^;]*);")
+
+
+def requires_mutex(unit, cls):
+    """Mutex name when the unit runs with a caller-held lock, else None."""
+    tm = re.search(r"\bREQUIRES\s*\(\s*([^),]*)", unit.trail)
+    if tm:
+        return tm.group(1).strip()
+    if cls is not None:
+        return cls.requires_.get(unit.simple)
+    return None
+
+
+def expr_root(expr):
+    m = re.match(r"[\s*&(]*([A-Za-z_]\w*)", expr)
+    return m.group(1) if m else ""
+
+
+def refs_any(text, names):
+    return any(re.search(rf"\b{re.escape(n)}\b", text) for n in names)
+
+
+def guard_scopes(unit, cls):
+    """LockGuard regions of unit.body as (start, end, 'Class::mu')."""
+    scopes = []
+    if cls is None:
+        return scopes
+    for lm in LOCK_RE.finditer(unit.body):
+        mu = lm.group(1)
+        if mu not in cls.mutexes:
+            continue
+        depth = 0
+        end = len(unit.body)
+        for i in range(lm.end(), len(unit.body)):
+            ch = unit.body[i]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth < 0:
+                    end = i
+                    break
+        scopes.append((lm.end(), end, f"{cls.name}::{mu}"))
+    return scopes
+
+
+def compute_aliases(unit, cls, ref_returning):
+    """Names in unit.body that alias guarded state, to a fixpoint.
+
+    Returns (aliases, creations) where creations is a list of
+    (name, pos, is_decl) for aliases introduced by a statement (seed guarded
+    members are not listed)."""
+    aliases = set(cls.guarded)
+    creations = []
+    body = unit.body
+    for _ in range(8):
+        grew = False
+
+        def add(name, pos, is_decl):
+            nonlocal grew
+            if name not in aliases and name not in NOT_VARS:
+                aliases.add(name)
+                creations.append((name, pos, is_decl))
+                grew = True
+
+        for m in REF_DECL_RE.finditer(body):
+            name, rhs = m.group(1), m.group(2)
+            callee = re.match(r"\s*(?:this->)?([A-Za-z_]\w*)\s*\(", rhs)
+            if refs_any(rhs, aliases) or (callee and callee.group(1) in ref_returning):
+                add(name, m.start(), True)
+        for m in STMT_ASSIGN_RE.finditer(body):
+            name, rhs, prefix = m.group("name"), m.group("rhs"), m.group("prefix")
+            is_decl = bool(prefix.strip())
+            aliasing = False
+            if re.match(r"\s*&", rhs) and expr_root(rhs) in aliases:
+                aliasing = True  # address-of guarded state
+            elif PRODUCER_RE.search(rhs) and refs_any(rhs, aliases):
+                aliasing = True  # iterator/view/raw handle into guarded state
+            else:
+                callee = re.match(r"\s*(?:this->)?([A-Za-z_]\w*)\s*\(", rhs)
+                if callee and callee.group(1) in ref_returning and "*" in prefix:
+                    aliasing = True  # pointer out of a guarded-ref method
+            if aliasing:
+                add(name, m.start("name"), is_decl)
+        if not grew:
+            break
+    return aliases, creations
+
+
+def ref_returning_methods(units, cls):
+    """Methods of `cls` whose return is rooted in guarded state and ref-ish:
+    plain alias chains (`return *it->second;`) or a `&`/`*` return type."""
+    out = set()
+    for u in units:
+        if u.cls != cls.name:
+            continue
+        aliases, _ = compute_aliases(u, cls, ref_returning=set())
+        for rm in RETURN_RE.finditer(u.body):
+            expr = rm.group(1).strip()
+            root = expr_root(expr)
+            if root not in aliases:
+                continue
+            if "(" not in expr or re.search(r"[&*]\s*$", u.ret):
+                out.add(u.simple)
+                break
+    return out
+
+
+def escape_pass(units, classes, suppressed_by_path, escape_out=None):
+    classes_by_name = {c.name: c for c in classes}
+    findings = []
+    ref_ret_cache = {}
+    for unit in units:
+        cls = classes_by_name.get(unit.cls)
+        if cls is None or not cls.guarded:
+            continue
+        if cls.name not in ref_ret_cache:
+            ref_ret_cache[cls.name] = ref_returning_methods(units, cls)
+        aliases, creations = compute_aliases(unit, cls, ref_ret_cache[cls.name])
+        body = unit.body
+        scopes = guard_scopes(unit, cls)
+        mu_name = next(iter(set(cls.guarded.values())), "mu_")
+        held = f"{cls.name}::{mu_name}"
+
+        def note(pos, kind, name, message):
+            line = unit.body_line + body.count("\n", 0, pos)
+            sup = suppressed_by_path.get(unit.path, {})
+            suppressed = line in sup or (line - 1) in sup
+            if escape_out is not None:
+                escape_out.append({
+                    "cls": cls.name, "mutex": held, "function": unit.simple,
+                    "kind": kind, "name": name, "file": unit.path,
+                    "line": line, "suppressed": suppressed,
+                    "reason": sup.get(line, sup.get(line - 1, "")),
+                })
+            if not suppressed:
+                findings.append(Finding(unit.path, line, "sema-escape", message))
+
+        # (a) return escapes — skipped for REQUIRES methods, where the caller
+        # still holds the lock and a returned reference is the sanctioned
+        # `state_of` pattern.
+        if requires_mutex(unit, cls) is None:
+            for rm in RETURN_RE.finditer(body):
+                expr = rm.group(1)
+                hit = None
+                for am in re.finditer(r"\bas_view\s*\(", expr):
+                    close = match_paren(expr, am.end() - 1)
+                    arg = expr[am.end() : close] if close > 0 else expr[am.end() :]
+                    if refs_any(arg, aliases):
+                        hit = ("view", expr_root(arg))
+                if hit is None and re.match(r"\s*&", expr) and expr_root(expr) in aliases:
+                    hit = ("pointer", expr_root(expr))
+                if hit is None:
+                    wm = WHOLE_EXPR_PRODUCER_RE.match(expr)
+                    if wm and wm.group(1) in aliases:
+                        hit = ("iterator/raw handle", wm.group(1))
+                if hit is None and re.search(r"[&*]\s*$", unit.ret) and expr_root(expr) in aliases:
+                    hit = ("reference", expr_root(expr))
+                if hit is not None:
+                    kind, name = hit
+                    note(rm.start(), "return", name,
+                         f"{unit.name}: guarded state escapes via returned "
+                         f"{kind} ('{name}') — the caller outlives {held}")
+
+        # (b) by-reference lambda captures of guarded state.
+        for lm in LAMBDA_RE.finditer(body):
+            caps = lm.group(1)
+            open_brace = body.index("{", lm.end() - 1)
+            close = match_brace(body, open_brace)
+            lam_body = body[open_brace + 1 : close] if close > 0 else ""
+            by_ref_all = bool(re.match(r"\s*&\s*(?:,|$)", caps))
+            named = re.findall(r"&\s*([A-Za-z_]\w*)", caps)
+            captured = [n for n in named if n in aliases]
+            if by_ref_all and not captured:
+                captured = [n for n in aliases if re.search(rf"\b{re.escape(n)}\b", lam_body)]
+            if "this" in caps.split(","):
+                captured += [n for n in cls.guarded
+                             if re.search(rf"\b{re.escape(n)}\b", lam_body)]
+            if captured:
+                name = sorted(set(captured))[0]
+                note(lm.start(), "lambda", name,
+                     f"{unit.name}: lambda captures guarded state ('{name}') "
+                     f"by reference — it must not outlive the {held} critical "
+                     f"section")
+
+        # (c) alias assigned inside a lock scope into a local declared
+        # outside it: the alias survives the unlock.
+        for name, pos, is_decl in creations:
+            if is_decl:
+                continue
+            scope = next((s for s in scopes if s[0] <= pos < s[1]), None)
+            if scope is None:
+                continue
+            first = re.search(rf"\b{re.escape(name)}\b", body)
+            if first is not None and first.start() < scope[0]:
+                note(pos, "outer-local", name,
+                     f"{unit.name}: guarded alias '{name}' is stored into an "
+                     f"outer-scope local — it outlives the {scope[2]} "
+                     f"critical section")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 5: atomics-discipline audit (sema-atomics)
+#
+# Every std::atomic declaration states a policy next to it:
+#     // atomic: counter            relaxed increments, relaxed reads
+#     // atomic: stat               relaxed one-shot/occasional values
+#     // atomic: handshake          release stores / acquire loads
+#     // atomic: seq_cst(<reason>)  anything goes, but say why
+# and every operation passes an explicit memory_order that matches. A
+# defaulted order (= seq_cst) is always a finding, so the sharded
+# metrics hot path cannot silently regress.
+# --------------------------------------------------------------------------
+
+ATOMIC_POLICY_RE = re.compile(
+    r"//\s*atomic:\s*(counter|stat|handshake|seq_cst)\s*(?:\(([^)]*)\))?"
+)
+ATOMIC_OPS = (
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+)
+ATOMIC_OP_NAMES = "|".join(ATOMIC_OPS)
+ATOMIC_REF_PARAM_RE = re.compile(
+    r"std::atomic<[^<>;()]*(?:<[^<>]*>)?[^<>;()]*>\s*[&*]\s*([A-Za-z_]\w*)"
+)
+
+
+def collect_atomics(path, text, stripped):
+    """(decls, ref_params): std::atomic member/variable declarations with
+    their `// atomic:` policy, plus names of atomic-reference parameters."""
+    decls = {}
+    raw_lines = text.splitlines()
+    for i, line in enumerate(stripped.splitlines(), start=1):
+        if "std::atomic<" not in line or not line.rstrip().endswith(";"):
+            continue
+        dm = re.search(r">\s*([A-Za-z_]\w*)\s*(?:\{[^{}]*\}|=[^;]*)?\s*;", line)
+        if dm is None:
+            continue
+        policy = reason = None
+        for j in (i, i - 1):
+            if 1 <= j <= len(raw_lines):
+                pm = ATOMIC_POLICY_RE.search(raw_lines[j - 1])
+                if pm:
+                    policy, reason = pm.group(1), (pm.group(2) or "").strip()
+                    break
+        decls[dm.group(1)] = {"line": i, "policy": policy, "reason": reason}
+    ref_params = set(ATOMIC_REF_PARAM_RE.findall(stripped)) - set(decls)
+    return decls, ref_params
+
+
+def atomic_orders_ok(policy, op, orders):
+    if policy == "seq_cst":
+        return True
+    if policy in ("counter", "stat"):
+        return all(o == "relaxed" for o in orders)
+    # handshake: publication stores pair with acquiring loads.
+    if op == "load":
+        return orders == ["acquire"]
+    if op == "store":
+        return orders == ["release"]
+    if op.startswith("compare_exchange"):
+        return (orders[:1] in (["acq_rel"], ["acquire"], ["release"])
+                and all(o in ("relaxed", "acquire") for o in orders[1:]))
+    return all(o in ("acq_rel", "acquire", "release") for o in orders)
+
+
+def atomics_pass(atomics_by_path, suppressed_by_path, stripped_by_path):
+    findings = []
+    for path, (decls, ref_params) in atomics_by_path.items():
+        sup = suppressed_by_path.get(path, {})
+        stripped = stripped_by_path[path]
+        lines = stripped.splitlines()
+
+        def note(line, message):
+            if line in sup or (line - 1) in sup:
+                return
+            findings.append(Finding(path, line, "sema-atomics", message))
+
+        for name, d in decls.items():
+            if d["policy"] is None:
+                note(d["line"],
+                     f"atomic '{name}' declares no policy — annotate with "
+                     f"// atomic: counter|stat|handshake|seq_cst(<reason>)")
+            elif d["policy"] == "seq_cst" and not d["reason"]:
+                note(d["line"],
+                     f"atomic '{name}' claims seq_cst without a reason — "
+                     f"use // atomic: seq_cst(<why>)")
+
+        audited = {**{n: d["policy"] for n, d in decls.items()},
+                   **{n: None for n in ref_params}}
+        for name, policy in audited.items():
+            for m in re.finditer(
+                    rf"\b{re.escape(name)}\s*(?:\[[^\]]*\])?\s*\.\s*"
+                    rf"({ATOMIC_OP_NAMES})\s*\(", stripped):
+                op = m.group(1)
+                close = match_paren(stripped, m.end() - 1)
+                args = stripped[m.end() : close] if close > 0 else ""
+                orders = re.findall(r"memory_order(?:_|::)(\w+)", args)
+                line = 1 + stripped.count("\n", 0, m.start())
+                if not orders:
+                    note(line,
+                         f"'{name}.{op}' uses the defaulted (seq_cst) memory "
+                         f"order — state the order explicitly")
+                elif policy is not None and not atomic_orders_ok(policy, op, orders):
+                    note(line,
+                         f"'{name}.{op}({', '.join(orders)})' does not match "
+                         f"the declared '{policy}' policy")
+            # ++/--/compound ops on an atomic always mean defaulted seq_cst.
+            for m in re.finditer(
+                    rf"(?:\+\+|--)\s*{re.escape(name)}\b"
+                    rf"|(?:^|[^\w.]){re.escape(name)}\s*(?:\+\+|--|\+=|-=|\|=|&=|\^=)",
+                    stripped):
+                line = 1 + stripped.count("\n", 0, m.start())
+                if "std::atomic<" in lines[line - 1]:
+                    continue  # the declaration itself
+                note(line,
+                     f"operator on atomic '{name}' uses the defaulted "
+                     f"(seq_cst) memory order — use an explicit fetch_add/"
+                     f"store")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 6: blocking-under-lock + lock-hotspot ranking (sema-blocking)
+#
+# Nothing slow belongs inside a critical section: file/stream IO, waits on a
+# foreign condition variable, or an Encoder build (unbounded in the document
+# size). Blocking facts propagate through the same call resolution the
+# lock-order pass uses (including interface dispatch, so store_->put() sees
+# DiskBaseStore). A `sema: ok` on the *source* line accepts the blocking as
+# bounded and stops propagation to callers.
+#
+# Independently, every LockGuard section is scored by a static weight and
+# ranked into a machine-readable hotspot report (--hotspots) — the evidence
+# that picks DeltaServer's shard boundaries (ROADMAP item 1).
+# --------------------------------------------------------------------------
+
+STREAM_TYPES = {"ofstream", "ifstream", "fstream"}
+IO_TOKEN_RE = re.compile(
+    r"\bstd::filesystem::[A-Za-z_]\w*|\bstd::(?:o|i)?fstream\b"
+    r"|\bf(?:open|read|write|sync|close)\s*\(|\bgetline\s*\("
+)
+HEAVY_ALLOC_RE = re.compile(
+    r"\bmake_(?:shared|unique)\s*<\s*(?:const\s+)?(?:[\w:]+::)?Encoder\b"
+    r"|\bnew\s+(?:[\w:]+::)?Encoder\b"
+)
+CV_WAIT_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*wait\s*\(\s*([A-Za-z_]\w*)\s*\)")
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+HOTSPOT_WEIGHTS = {
+    "line": 1, "call": 2, "loop": 5, "heavy_alloc": 20, "io": 30, "cv_wait": 10,
+}
+
+
+def direct_blocking_facts(unit, cls):
+    """[(pos, kind, detail)] — unfiltered blocking facts in unit.body."""
+    facts = []
+    body = unit.body
+    for m in IO_TOKEN_RE.finditer(body):
+        facts.append((m.start(), "io", m.group(0).split("(")[0].strip()))
+    if cls is not None:
+        for name, t in cls.members.items():
+            if t in STREAM_TYPES:
+                for m in re.finditer(
+                        rf"\b{re.escape(name)}\s*(?:<<|\.\s*(?:open|flush|close|write)\s*\()",
+                        body):
+                    facts.append((m.start(), "io", f"stream member '{name}'"))
+    for m in HEAVY_ALLOC_RE.finditer(body):
+        facts.append((m.start(), "heavy-alloc",
+                      "Encoder build (index over the whole document)"))
+    return facts
+
+
+def fact_suppressed(unit, pos, suppressed_by_path):
+    line = unit.body_line + unit.body.count("\n", 0, pos)
+    sup = suppressed_by_path.get(unit.path, {})
+    return line in sup or (line - 1) in sup
+
+
+def blocking_pass(units, classes, suppressed_by_path, hotspots_out=None):
+    classes_by_name = {c.name: c for c in classes}
+    impls = {}
+    for c in classes:
+        for b in c.bases:
+            impls.setdefault(b, []).append(c.name)
+    methods = build_method_table(units)
+    free_by_file = {}
+    for u in units:
+        if not u.cls:
+            free_by_file.setdefault(u.path, {}).setdefault(u.simple, []).append(u)
+
+    def callees_of(unit):
+        out = list(resolve_callees(unit, classes_by_name, impls, methods))
+        table = free_by_file.get(unit.path, {})
+        for m in SELF_CALL_RE.finditer(unit.body):
+            fn = m.group(1)
+            if fn in table and fn != unit.simple and fn not in NOT_FUNCTIONS:
+                out.append((f"{unit.path.name}::{fn}", m.start()))
+        return out
+
+    callables = dict(methods)
+    for path, table in free_by_file.items():
+        for fn, us in table.items():
+            callables[f"{path.name}::{fn}"] = us
+
+    # Direct facts per callable, twice: `sema: ok` at the source line accepts
+    # the blocking as bounded, stopping both the finding and propagation to
+    # callers — but the hotspot report keeps scoring the unfiltered set
+    # (accepted IO is still weight the sharding refactor must reckon with).
+    direct, direct_all = {}, {}
+    for key, us in callables.items():
+        facts, facts_all = set(), set()
+        for u in us:
+            cls = classes_by_name.get(u.cls)
+            for pos, kind, detail in direct_blocking_facts(u, cls):
+                facts_all.add((kind, detail))
+                if not fact_suppressed(u, pos, suppressed_by_path):
+                    facts.add((kind, detail))
+        direct[key] = facts
+        direct_all[key] = facts_all
+
+    callee_map = {
+        key: [k for u in us for (k, _pos) in callees_of(u)]
+        for key, us in callables.items()
+    }
+
+    def propagate(seed):
+        may = {k: set(v) for k, v in seed.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, cal in callee_map.items():
+                for c in cal:
+                    add = may.get(c, set()) - may[key]
+                    if add:
+                        may[key] |= add
+                        changed = True
+        return may
+
+    may_block = propagate(direct)
+    may_block_all = propagate(direct_all)
+
+    findings = []
+
+    def note(unit, pos, message):
+        line = unit.body_line + unit.body.count("\n", 0, pos)
+        sup = suppressed_by_path.get(unit.path, {})
+        if line in sup or (line - 1) in sup:
+            return
+        findings.append(Finding(unit.path, line, "sema-blocking", message))
+
+    # REQUIRES helpers run entirely inside the caller's critical section, so
+    # their static cost rolls up into every calling section.
+    def rolled_cost(key, stack=()):
+        if key in stack:
+            return {}
+        total = {}
+        for u in callables.get(key, []):
+            cls = classes_by_name.get(u.cls)
+            total["line"] = total.get("line", 0) + u.body.count("\n")
+            total["loop"] = total.get("loop", 0) + len(LOOP_RE.findall(u.body))
+            for _pos, kind, _d in direct_blocking_facts(u, cls):
+                k = "io" if kind == "io" else "heavy_alloc"
+                total[k] = total.get(k, 0) + 1
+            for callee, _pos in callees_of(u):
+                total["call"] = total.get("call", 0) + 1
+                ccls = classes_by_name.get(callee.split("::")[0])
+                cunits = callables.get(callee, [])
+                if (cunits and ccls is not None
+                        and requires_mutex(cunits[0], ccls) is not None):
+                    for k, v in rolled_cost(callee, stack + (key,)).items():
+                        total[k] = total.get(k, 0) + v
+        return total
+
+    sections = []
+    for key, us in callables.items():
+        for u in us:
+            cls = classes_by_name.get(u.cls)
+            if cls is None:
+                continue
+            req = requires_mutex(u, cls)
+            scopes = guard_scopes(u, cls)
+            calls = callees_of(u)
+
+            # Findings: direct facts and may-block calls inside any region
+            # where a mutex is held (LockGuard scope or REQUIRES body).
+            regions = list(scopes)
+            if req is not None:
+                regions.append((0, len(u.body), f"{cls.name}::{req}"))
+            for start, end, held in regions:
+                for pos, kind, detail in direct_blocking_facts(u, cls):
+                    if start <= pos < end and not fact_suppressed(
+                            u, pos, suppressed_by_path):
+                        what = ("blocking IO" if kind == "io"
+                                else "unbounded allocation")
+                        note(u, pos,
+                             f"{u.name}: {what} ({detail}) while holding {held}")
+                for m in CV_WAIT_RE.finditer(u.body[start:end]):
+                    if m.group(2) != held.split("::")[-1]:
+                        note(u, start + m.start(),
+                             f"{u.name}: wait on '{m.group(1)}' with foreign "
+                             f"mutex '{m.group(2)}' while holding {held}")
+                seen = set()
+                for callee, pos in calls:
+                    if not (start <= pos < end) or callee in seen:
+                        continue
+                    seen.add(callee)
+                    for kind, detail in sorted(may_block.get(callee, set())):
+                        what = "block on IO" if kind == "io" else "allocate unboundedly"
+                        note(u, pos,
+                             f"{u.name}: call to {callee} may {what} "
+                             f"({detail}) while holding {held}")
+
+            # Hotspot sections: LockGuard scopes only (REQUIRES helpers are
+            # rolled into their calling sections instead).
+            if hotspots_out is None:
+                continue
+            for start, end, held in scopes:
+                chunk = u.body[start:end]
+                cost = {
+                    "line": chunk.count("\n"),
+                    "call": 0,
+                    "loop": len(LOOP_RE.findall(chunk)),
+                    "io": 0, "heavy_alloc": 0, "cv_wait": 0,
+                }
+                blocking = []
+                for pos, kind, detail in direct_blocking_facts(u, cls):
+                    if start <= pos < end:
+                        cost["io" if kind == "io" else "heavy_alloc"] += 1
+                        blocking.append(f"{kind}: {detail}")
+                for m in CV_WAIT_RE.finditer(chunk):
+                    cost["cv_wait"] += 1
+                for callee, pos in calls:
+                    if not (start <= pos < end):
+                        continue
+                    cost["call"] += 1
+                    ccls = classes_by_name.get(callee.split("::")[0])
+                    cunits = callables.get(callee, [])
+                    if (cunits and ccls is not None
+                            and requires_mutex(cunits[0], ccls) is not None):
+                        for k, v in rolled_cost(callee).items():
+                            cost[k] = cost.get(k, 0) + v
+                    for kind, detail in sorted(may_block_all.get(callee, set())):
+                        cost["io" if kind == "io" else "heavy_alloc"] += 1
+                        blocking.append(f"{kind} via {callee}: {detail}")
+                weight = sum(HOTSPOT_WEIGHTS[k] * v for k, v in cost.items()
+                             if k in HOTSPOT_WEIGHTS)
+                line = u.body_line + u.body.count("\n", 0, start)
+                sections.append({
+                    "file": Finding(u.path, line, "", "").rel(),
+                    "line": line,
+                    "function": u.name,
+                    "mutex": held,
+                    "weight": weight,
+                    "lines": cost["line"],
+                    "calls": cost["call"],
+                    "loops": cost["loop"],
+                    "blocking": sorted(set(blocking)),
+                })
+
+    if hotspots_out is not None:
+        sections.sort(key=lambda s: (-s["weight"], s["file"], s["line"]))
+        for rank, s in enumerate(sections, start=1):
+            s["rank"] = rank
+        hotspots_out.extend(sections)
+    return findings
+
+
 def suppression_pass(suppressed_by_path):
     findings = []
     for path, sup in suppressed_by_path.items():
@@ -860,7 +1518,8 @@ def collect_files(paths):
     return files
 
 
-def analyze(paths, frontend="auto", entry_points=None, taint_all=False, graph_out=None):
+def analyze(paths, frontend="auto", entry_points=None, taint_all=False,
+            graph_out=None, escape_out=None, hotspots_out=None, model_out=None):
     cindex = load_cindex() if frontend in ("auto", "cindex") else None
     if frontend == "cindex" and cindex is None:
         print("cbde_sema: ERROR: --frontend=cindex but clang.cindex is unavailable",
@@ -877,19 +1536,32 @@ def analyze(paths, frontend="auto", entry_points=None, taint_all=False, graph_ou
     all_classes = []
     units_by_path = {}
     suppressed_by_path = {}
+    # The escape/atomics/blocking passes need GUARDED_BY / REQUIRES /
+    # `// atomic:` information that only the text frontend mines (the cindex
+    # parse never expands the annotation macros), so the text model is built
+    # unconditionally and cindex only upgrades the legacy passes.
+    text_units = []
+    text_classes = []
+    atomics_by_path = {}
+    stripped_by_path = {}
     for f in collect_files(paths):
         try:
+            text, stripped, units, classes, sup = parse_file(f)
             if cindex is not None:
-                _, _, units, classes, sup = parse_file_cindex(cindex, f)
+                _, _, cunits, cclasses, sup = parse_file_cindex(cindex, f)
             else:
-                _, _, units, classes, sup = parse_file(f)
+                cunits, cclasses = units, classes
         except Exception as e:  # a frontend crash must not kill the run
             print(f"cbde_sema: WARNING: cannot parse {f}: {e}", file=sys.stderr)
             continue
-        all_units.extend(units)
-        all_classes.extend(classes)
-        units_by_path[f] = units
+        all_units.extend(cunits)
+        all_classes.extend(cclasses)
+        text_units.extend(units)
+        text_classes.extend(classes)
+        units_by_path[f] = cunits
         suppressed_by_path[f] = sup
+        atomics_by_path[f] = collect_atomics(f, text, stripped)
+        stripped_by_path[f] = stripped
 
     findings = []
     findings += taint_pass(all_units, {"taint_all": taint_all}, suppressed_by_path)
@@ -899,9 +1571,68 @@ def analyze(paths, frontend="auto", entry_points=None, taint_all=False, graph_ou
         entry_points if entry_points is not None else REPO_ENTRY_POINTS,
         suppressed_by_path,
     )
+    findings += escape_pass(text_units, text_classes, suppressed_by_path, escape_out)
+    findings += atomics_pass(atomics_by_path, suppressed_by_path, stripped_by_path)
+    findings += blocking_pass(text_units, text_classes, suppressed_by_path,
+                              hotspots_out)
     findings += suppression_pass(suppressed_by_path)
     findings.sort(key=lambda f: (f.rel(), f.line, f.check))
+    if model_out is not None:
+        model_out["classes"] = text_classes
+        model_out["units"] = text_units
     return findings
+
+
+def write_hotspots(sections, out_path):
+    import json
+
+    report = {
+        "generated_by": "tools/analyze/cbde_sema.py",
+        "description": "LockGuard critical sections ranked by static weight; "
+                       "the shard-boundary evidence for ROADMAP item 1",
+        "weights": HOTSPOT_WEIGHTS,
+        "sections": sections,
+    }
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def write_graph_dot(graph, escapes, classes, out):
+    """Render the lock-order graph plus per-mutex confinement clusters
+    (guarded fields, escape edges; suppressed escapes are dashed)."""
+    def q(s):
+        return '"' + str(s).replace('"', r"\"") + '"'
+
+    lines = ["digraph cbde_locks {", "  rankdir=LR;",
+             '  node [fontname="monospace" fontsize=10];']
+    by_mutex = {}
+    for c in classes:
+        for member, mu in sorted(c.guarded.items()):
+            by_mutex.setdefault(f"{c.name}::{mu}", []).append(member)
+    for i, (mu, members) in enumerate(sorted(by_mutex.items())):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f"    label={q(mu)}; style=rounded;")
+        lines.append(f"    {q(mu)} [shape=box style=filled fillcolor=lightgrey];")
+        for member in members:
+            lines.append(f"    {q(mu + '.' + member)} [shape=ellipse label={q(member)}];")
+            lines.append(f"    {q(mu)} -> {q(mu + '.' + member)} [style=dotted arrowhead=none];")
+        lines.append("  }")
+    for (src, dst), (path, line) in sorted(graph.items()):
+        rel = Finding(path, line, "", "").rel()
+        lines.append(f"  {q(src)} -> {q(dst)} [color=red penwidth=2 "
+                     f"label={q(rel + ':' + str(line))}];")
+    for e in escapes:
+        src = f"{e['mutex']}.{e['name']}" if f"{e['mutex']}" in by_mutex and \
+            e["name"] in by_mutex[e["mutex"]] else e["mutex"]
+        style = "dashed" if e["suppressed"] else "bold"
+        label = f"{e['kind']} escape: {e['cls']}::{e['function']}"
+        if e["suppressed"] and e["reason"]:
+            label += f"\\nok({e['reason']})"
+        lines.append(f"  {q(src)} -> {q(e['cls'] + '::' + e['function'] + '()')} "
+                     f"[style={style} color=blue label={q(label)}];")
+    lines.append("}")
+    out.write("\n".join(lines) + "\n")
 
 
 def load_baseline():
@@ -1037,14 +1768,133 @@ util::Bytes apply_widget(util::BytesView base, util::BytesView delta) {
 """
 
 
+FIXTURE_ESCAPE_BAD = """\
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Vault {
+ public:
+  const unsigned char* peek() EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    return buf_.data();
+  }
+  void stash() EXCLUDES(mu_) {
+    const unsigned char* held = nullptr;
+    {
+      const LockGuard lock(mu_);
+      held = &buf_[0];
+    }
+    sink(held);
+  }
+ private:
+  void sink(const unsigned char* p);
+  mutable Mutex mu_;
+  util::Bytes buf_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_ESCAPE_CLEAN = """\
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Vault {
+ public:
+  util::Bytes copy() EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    return buf_;
+  }
+  const unsigned char* peek() EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    // sema: ok(single-threaded harness pins the buffer for the call)
+    return buf_.data();
+  }
+ private:
+  mutable Mutex mu_;
+  util::Bytes buf_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_ATOMICS_BAD = """\
+#include <atomic>
+#include <cstdint>
+namespace cbde::fix {
+class Stats {
+ public:
+  void hit() { hits_.fetch_add(1); }
+  std::uint64_t total() const { return hits_.load(std::memory_order_relaxed); }
+  void mark() { raw_.store(1, std::memory_order_relaxed); }
+ private:
+  // atomic: counter
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> raw_{0};
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_ATOMICS_CLEAN = """\
+#include <atomic>
+#include <cstdint>
+namespace cbde::fix {
+class Stats {
+ public:
+  void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t total() const { return hits_.load(std::memory_order_relaxed); }
+  void publish() { ready_.store(true, std::memory_order_release); }
+  bool published() const { return ready_.load(std::memory_order_acquire); }
+ private:
+  // atomic: counter
+  std::atomic<std::uint64_t> hits_{0};
+  // atomic: handshake
+  std::atomic<bool> ready_{false};
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_BLOCKING_BAD = """\
+#include <fstream>
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Journal {
+ public:
+  void append(int v) EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    log_ << v;
+  }
+ private:
+  mutable Mutex mu_;
+  std::ofstream log_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_BLOCKING_CLEAN = """\
+#include <fstream>
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Journal {
+ public:
+  void append(int v) EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    // sema: ok(journal writes are rare by contract and line-buffered)
+    log_ << v;
+  }
+ private:
+  mutable Mutex mu_;
+  std::ofstream log_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+
 def self_test():
     failures = []
 
-    def run_fixture(name, source, entry_points):
+    def run_fixture(name, source, entry_points, hotspots_out=None):
         with tempfile.TemporaryDirectory() as td:
             f = Path(td) / f"{name}.cpp"
             f.write_text(source, encoding="utf-8")
-            return analyze([td], frontend="text", entry_points=entry_points)
+            return analyze([td], frontend="text", entry_points=entry_points,
+                           hotspots_out=hotspots_out)
 
     def expect(name, findings, check, want):
         hits = [f for f in findings if f.check == check]
@@ -1072,6 +1922,35 @@ def self_test():
            run_fixture("contracts", FIXTURE_CONTRACTS_CLEAN, entry),
            "sema-contracts", want=False)
 
+    escape_bad = run_fixture("escape_bad", FIXTURE_ESCAPE_BAD, [])
+    expect("escape-bad", escape_bad, "sema-escape", want=True)
+    if len([f for f in escape_bad if f.check == "sema-escape"]) < 2:
+        failures.append("escape-bad: expected both the return escape and the "
+                        "outer-local escape to be found")
+    expect("escape-clean", run_fixture("escape_clean", FIXTURE_ESCAPE_CLEAN, []),
+           "sema-escape", want=False)
+
+    atomics_bad = run_fixture("atomics_bad", FIXTURE_ATOMICS_BAD, [])
+    expect("atomics-bad", atomics_bad, "sema-atomics", want=True)
+    msgs = " | ".join(f.message for f in atomics_bad if f.check == "sema-atomics")
+    if "defaulted" not in msgs or "no policy" not in msgs:
+        failures.append("atomics-bad: expected a defaulted-order finding AND "
+                        f"a missing-policy finding, got: {msgs or '(none)'}")
+    expect("atomics-clean",
+           run_fixture("atomics_clean", FIXTURE_ATOMICS_CLEAN, []),
+           "sema-atomics", want=False)
+
+    spots = []
+    blocking_bad = run_fixture("blocking_bad", FIXTURE_BLOCKING_BAD, [],
+                               hotspots_out=spots)
+    expect("blocking-bad", blocking_bad, "sema-blocking", want=True)
+    if not spots or spots[0]["weight"] <= 0 or spots[0]["rank"] != 1:
+        failures.append("blocking-bad: expected a ranked hotspot section for "
+                        "the Journal::append critical section")
+    expect("blocking-clean",
+           run_fixture("blocking_clean", FIXTURE_BLOCKING_CLEAN, []),
+           "sema-blocking", want=False)
+
     if failures:
         for f in failures:
             print(f"cbde_sema self-test FAIL: {f}", file=sys.stderr)
@@ -1089,6 +1968,11 @@ def main(argv):
                     help="print all findings, ignoring the baseline")
     ap.add_argument("--graph", action="store_true",
                     help="dump the lock-order acquisition graph")
+    ap.add_argument("--graph-dot", nargs="?", const="-", metavar="PATH",
+                    help="emit the lock-order + confinement graph as DOT "
+                         "(to PATH, or stdout)")
+    ap.add_argument("--hotspots", metavar="PATH",
+                    help="write the ranked lock-hotspot report as JSON")
     ap.add_argument("--frontend", choices=("auto", "text", "cindex"), default="auto")
     args = ap.parse_args(argv)
 
@@ -1096,8 +1980,14 @@ def main(argv):
         return self_test()
 
     paths = args.paths or [str(SRC_ROOT)]
-    graph = {} if args.graph else None
-    findings = analyze(paths, frontend=args.frontend, graph_out=graph)
+    want_graph = args.graph or args.graph_dot is not None
+    graph = {} if want_graph else None
+    escapes = [] if args.graph_dot is not None else None
+    hotspots = [] if args.hotspots else None
+    model = {} if args.graph_dot is not None else None
+    findings = analyze(paths, frontend=args.frontend, graph_out=graph,
+                       escape_out=escapes, hotspots_out=hotspots,
+                       model_out=model)
 
     if args.graph:
         print("lock-order acquisition graph (held -> acquired):")
@@ -1106,6 +1996,23 @@ def main(argv):
             print(f"  {src} -> {dst}   ({rel}:{line})")
         if not graph:
             print("  (no cross-mutex acquisitions found)")
+
+    if args.graph_dot is not None:
+        if args.graph_dot == "-":
+            write_graph_dot(graph, escapes, model["classes"], sys.stdout)
+        else:
+            with open(args.graph_dot, "w", encoding="utf-8") as fh:
+                write_graph_dot(graph, escapes, model["classes"], fh)
+            print(f"cbde_sema: DOT graph -> {args.graph_dot}", file=sys.stderr)
+
+    if args.hotspots:
+        write_hotspots(hotspots, args.hotspots)
+        top = hotspots[0] if hotspots else None
+        print(f"cbde_sema: {len(hotspots)} critical section(s) ranked -> "
+              f"{args.hotspots}"
+              + (f" (top: {top['function']} at {top['file']}:{top['line']}, "
+                 f"weight {top['weight']})" if top else ""),
+              file=sys.stderr)
 
     if args.update_baseline:
         write_baseline(findings)
