@@ -11,14 +11,36 @@
 // We first measure our actual delta-generation cost (wall clock) on the
 // same workload shape, then run the closed-loop capacity harness with the
 // paper's CPU magnitudes to reproduce the throughput and concurrency rows.
+//
+// --shards replay mode (the sharded-DeltaServer scaling curve): replay one
+// identical pre-generated request stream through a real DeltaServer at each
+// shard count, measure wall-clock req/s, assert the Table II byte totals
+// are bit-exact across shard counts, and write BENCH_capacity.json.
+//
+// Flags:
+//   --shards LIST   comma-separated shard counts (e.g. 1,2,4) — enables
+//                   replay mode; without this flag the legacy closed-loop
+//                   harness above runs unchanged
+//   --requests N    requests per shard-count run (default 512, smoke 96)
+//   --out PATH      where to write the JSON (default: BENCH_capacity.json)
+//   --smoke         tiny corpus (CI sanity run)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "compress/compressor.hpp"
+#include "core/delta_server.hpp"
+#include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
 #include "server/load.hpp"
 #include "trace/document.hpp"
+#include "trace/site.hpp"
 
 namespace {
 
@@ -69,11 +91,255 @@ void capacity_row(const char* label, const server::LoadConfig& config,
               static_cast<unsigned long long>(result.refused), paper_note);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// --shards replay mode: the SVI-C capacity question asked of our own server.
+// ---------------------------------------------------------------------------
 
-int main() {
+struct ShardRunResult {
+  std::size_t shards = 0;
+  std::size_t workers = 0;
+  double total_ns = 0;
+  double requests_per_sec = 0;
+  core::PipelineMetrics metrics;
+  std::size_t storage_bytes = 0;
+  std::size_t num_classes = 0;
+};
+
+/// Replay `requests` identical requests against a fresh DeltaServer built
+/// with `shards` shards. The request stream is regenerated deterministically
+/// per call (same seeds, same order), so every shard count sees the same
+/// bytes; document generation happens before the clock starts.
+ShardRunResult run_sharded_replay(const trace::SiteModel& site, std::size_t shards,
+                                  std::size_t requests) {
+  core::DeltaServerConfig config;
+  config.shards = shards;
+  config.anonymize = false;  // steady state: every request is grouped+encoded
+  config.selector.sample_prob = 0.05;
+  config.rebase_timeout = 1000000 * util::kSecond;
+  config.basic_rebase_after = 1 << 20;
+
+  http::RuleBook rules;
+  rules.add_rule(site.config().host, site.partition_rule());
+  core::DeltaServer server(config, std::move(rules));
+
+  // Warmup: create one class per category and publish its base.
+  const std::size_t cats = site.num_categories();
+  for (std::size_t c = 0; c < cats; ++c) {
+    const trace::DocRef ref{c, 0};
+    const util::Bytes doc = site.generate(ref, 1, 0);
+    server.serve(1, site.url_for(ref), util::as_view(doc), 0);
+  }
+
+  struct Req {
+    std::uint64_t user;
+    http::Url url;
+    util::Bytes doc;
+    util::SimTime now;
+  };
+  std::vector<Req> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const trace::DocRef ref{i % cats, 1 + i % (site.config().docs_per_category - 1)};
+    const std::uint64_t user = 2 + i % 17;
+    const util::SimTime now = static_cast<util::SimTime>(i) * util::kSecond;
+    stream.push_back(Req{user, site.url_for(ref), site.generate(ref, user, now), now});
+  }
+
+  std::vector<std::future<core::ServedResponse>> futures;
+  futures.reserve(requests);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    // workers=0: recommended sizing — max(shards, cores) — so encode
+    // parallelism composes with shard parallelism.
+    core::DeltaWorkerPool pool(server, 0);
+    for (Req& req : stream) {
+      futures.push_back(
+          pool.submit(req.user, std::move(req.url), std::move(req.doc), req.now));
+    }
+    ShardRunResult result;
+    result.workers = pool.workers();
+    for (auto& f : futures) f.get();
+    pool.shutdown();
+    const auto t1 = std::chrono::steady_clock::now();
+    result.shards = shards;
+    result.total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    result.requests_per_sec =
+        static_cast<double>(requests) / (result.total_ns / 1e9);
+    result.metrics = server.metrics();
+    result.storage_bytes = server.storage_bytes();
+    result.num_classes = server.num_classes();
+    return result;
+  }
+}
+
+/// Bit-exact Table II parity against the reference run; any divergence is a
+/// determinism bug in the sharding layer, so the bench itself fails.
+bool check_byte_parity(const ShardRunResult& reference, const ShardRunResult& run) {
+  const auto& a = reference.metrics;
+  const auto& b = run.metrics;
+  bool ok = true;
+  const auto expect_eq = [&](const char* name, std::uint64_t lhs, std::uint64_t rhs) {
+    if (lhs != rhs) {
+      std::fprintf(stderr,
+                   "byte-parity violation: %s differs (shards=%zu: %llu, shards=%zu: "
+                   "%llu)\n",
+                   name, reference.shards, static_cast<unsigned long long>(lhs),
+                   run.shards, static_cast<unsigned long long>(rhs));
+      ok = false;
+    }
+  };
+  expect_eq("requests", a.requests, b.requests);
+  expect_eq("direct_responses", a.direct_responses, b.direct_responses);
+  expect_eq("delta_responses", a.delta_responses, b.delta_responses);
+  expect_eq("direct_bytes", a.direct_bytes, b.direct_bytes);
+  expect_eq("wire_bytes", a.wire_bytes, b.wire_bytes);
+  expect_eq("base_wire_bytes", a.base_wire_bytes, b.base_wire_bytes);
+  expect_eq("group_rebases", a.group_rebases, b.group_rebases);
+  expect_eq("basic_rebases", a.basic_rebases, b.basic_rebases);
+  expect_eq("storage_bytes", reference.storage_bytes, run.storage_bytes);
+  expect_eq("num_classes", reference.num_classes, run.num_classes);
+  return ok;
+}
+
+int run_shards_mode(const std::vector<std::size_t>& shard_counts,
+                    std::size_t requests, bool smoke, const std::string& out_path) {
   using cbde::bench::print_title;
   using cbde::bench::print_rule;
+
+  print_title(
+      "SVI-C capacity -- sharded DeltaServer scaling curve\n"
+      "(identical replay per shard count; Table II bytes must be bit-exact)");
+
+  trace::SiteConfig sconfig;
+  sconfig.categories = {"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"};
+  sconfig.docs_per_category = 16;
+  sconfig.doc_template.skeleton_bytes = smoke ? 7000 : 48000;
+  sconfig.doc_template.doc_unique_bytes = smoke ? 600 : 4000;
+  const trace::SiteModel site(sconfig);
+
+  const std::size_t cores = std::thread::hardware_concurrency();
+  std::printf("requests/run: %zu   hardware_concurrency: %zu\n", requests, cores);
+  if (cores <= 1) {
+    std::printf("(1-core host: the curve measures sharding overhead, not "
+                "parallel speedup; byte parity is still asserted)\n");
+  }
+
+  bench::JsonWriter json;
+  json.open("config");
+  json.field("requests", requests);
+  json.field("smoke", static_cast<std::size_t>(smoke ? 1 : 0));
+  json.field("hardware_concurrency", cores);
+  json.close();
+
+  std::vector<ShardRunResult> runs;
+  for (const std::size_t shards : shard_counts) {
+    runs.push_back(run_sharded_replay(site, shards, requests));
+    const ShardRunResult& r = runs.back();
+    std::printf("  shards=%-2zu workers=%-2zu  %10.0f req/s   wire %llu B   "
+                "deltas %llu/%llu\n",
+                r.shards, r.workers, r.requests_per_sec,
+                static_cast<unsigned long long>(r.metrics.wire_bytes),
+                static_cast<unsigned long long>(r.metrics.delta_responses),
+                static_cast<unsigned long long>(r.metrics.requests));
+  }
+
+  bool parity = true;
+  for (const ShardRunResult& r : runs) parity = check_byte_parity(runs.front(), r) && parity;
+
+  const ShardRunResult* baseline = nullptr;
+  for (const ShardRunResult& r : runs)
+    if (r.shards == 1) baseline = &r;
+
+  for (const ShardRunResult& r : runs) {
+    json.open("shards_" + std::to_string(r.shards));
+    json.field("shards", r.shards);
+    json.field("workers", r.workers);
+    json.field("requests_per_sec", r.requests_per_sec);
+    json.field("ns_per_request", r.total_ns / static_cast<double>(requests));
+    json.field("wire_bytes", static_cast<std::size_t>(r.metrics.wire_bytes));
+    json.field("base_wire_bytes", static_cast<std::size_t>(r.metrics.base_wire_bytes));
+    json.field("direct_bytes", static_cast<std::size_t>(r.metrics.direct_bytes));
+    json.field("delta_responses", static_cast<std::size_t>(r.metrics.delta_responses));
+    json.field("direct_responses", static_cast<std::size_t>(r.metrics.direct_responses));
+    json.field("storage_bytes", r.storage_bytes);
+    json.field("num_classes", r.num_classes);
+    if (baseline != nullptr && baseline != &r && baseline->requests_per_sec > 0) {
+      json.field("speedup_vs_shards_1", r.requests_per_sec / baseline->requests_per_sec);
+    }
+    json.close();
+  }
+  json.field("byte_parity", static_cast<std::size_t>(parity ? 1 : 0));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.finish();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  print_rule();
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: Table II byte accounting diverged across shard "
+                         "counts (see violations above)\n");
+    return 1;
+  }
+  std::printf("byte parity: OK -- Table II accounting is bit-exact across "
+              "shard counts {");
+  for (std::size_t i = 0; i < shard_counts.size(); ++i)
+    std::printf("%s%zu", i ? "," : "", shard_counts[i]);
+  std::printf("}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cbde::bench::print_title;
+  using cbde::bench::print_rule;
+
+  bool smoke = false;
+  bool shards_mode = false;
+  std::vector<std::size_t> shard_counts;
+  std::size_t requests = 0;
+  std::string out_path = "BENCH_capacity.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_mode = true;
+      const std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        const unsigned long parsed = std::strtoul(item.c_str(), nullptr, 10);
+        if (parsed == 0) {
+          std::fprintf(stderr, "bad --shards entry: '%s'\n", item.c_str());
+          return 2;
+        }
+        shard_counts.push_back(parsed);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--shards LIST] [--requests N] [--out PATH] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (shards_mode) {
+    if (shard_counts.empty()) shard_counts = {1, 2, 4};
+    if (requests == 0) requests = smoke ? 96 : 512;
+    return run_shards_mode(shard_counts, requests, smoke, out_path);
+  }
 
   print_title(
       "SVI-C capacity -- plain web-server vs delta-server + web-server\n"

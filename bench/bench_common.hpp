@@ -26,4 +26,48 @@ inline void print_title(const std::string& title) {
 
 inline double to_kb(std::uint64_t bytes) { return static_cast<double>(bytes) / 1024.0; }
 
+/// Minimal nested-object JSON emitter for the BENCH_*.json artifacts
+/// (machine-readable perf numbers tracked across commits).
+struct JsonWriter {
+  std::string out = "{\n";
+  int depth = 1;
+  bool first_in_scope = true;
+
+  void indent() { out.append(static_cast<std::size_t>(depth) * 2, ' '); }
+  void comma() {
+    if (!first_in_scope) out += ",\n";
+    first_in_scope = false;
+  }
+  void open(const std::string& key) {
+    comma();
+    indent();
+    out += "\"" + key + "\": {\n";
+    ++depth;
+    first_in_scope = true;
+  }
+  void close() {
+    out += "\n";
+    --depth;
+    indent();
+    out += "}";
+    first_in_scope = false;
+  }
+  void field(const std::string& key, double value) {
+    comma();
+    indent();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    out += "\"" + key + "\": " + buf;
+  }
+  void field(const std::string& key, std::size_t value) {
+    comma();
+    indent();
+    out += "\"" + key + "\": " + std::to_string(value);
+  }
+  std::string finish() {
+    out += "\n}\n";
+    return out;
+  }
+};
+
 }  // namespace cbde::bench

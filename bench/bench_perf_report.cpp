@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/delta_server.hpp"
 #include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
@@ -63,47 +64,7 @@ trace::TemplateConfig sized_template(std::size_t page_bytes) {
   return config;
 }
 
-struct JsonWriter {
-  std::string out = "{\n";
-  int depth = 1;
-  bool first_in_scope = true;
-
-  void indent() { out.append(static_cast<std::size_t>(depth) * 2, ' '); }
-  void comma() {
-    if (!first_in_scope) out += ",\n";
-    first_in_scope = false;
-  }
-  void open(const std::string& key) {
-    comma();
-    indent();
-    out += "\"" + key + "\": {\n";
-    ++depth;
-    first_in_scope = true;
-  }
-  void close() {
-    out += "\n";
-    --depth;
-    indent();
-    out += "}";
-    first_in_scope = false;
-  }
-  void field(const std::string& key, double value) {
-    comma();
-    indent();
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3f", value);
-    out += "\"" + key + "\": " + buf;
-  }
-  void field(const std::string& key, std::size_t value) {
-    comma();
-    indent();
-    out += "\"" + key + "\": " + std::to_string(value);
-  }
-  std::string finish() {
-    out += "\n}\n";
-    return out;
-  }
-};
+using bench::JsonWriter;
 
 struct EndToEndResult {
   double ns_per_request = 0;

@@ -3,14 +3,17 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/hash.hpp"
 
 namespace cbde::core {
 
-ClassManager::ClassManager(GroupingConfig config, std::uint64_t seed)
-    : config_(config), rng_(seed) {
+ClassManager::ClassManager(GroupingConfig config, std::uint64_t seed, ClassId id_first,
+                           ClassId id_stride)
+    : config_(config), seed_(seed), next_id_(id_first), id_stride_(id_stride) {
   CBDE_EXPECT(config_.max_tries >= 1);
   CBDE_EXPECT(config_.popular_fraction >= 0.0 && config_.popular_fraction <= 1.0);
   CBDE_EXPECT(config_.match_threshold > 0.0);
+  CBDE_EXPECT(id_first >= 1 && id_stride >= 1);
 }
 
 ClassManager::Decision ClassManager::group(
@@ -54,8 +57,10 @@ ClassId ClassManager::add_manual_class(const std::string& server_part,
                                        const std::string& hint_part) {
   const auto key = std::make_pair(server_part, hint_part);
   if (const auto it = manual_.find(key); it != manual_.end()) return it->second;
-  const ClassId id = next_id_++;
+  const ClassId id = next_id_;
+  next_id_ += id_stride_;
   members_.emplace(id, 0);
+  seeds_.emplace(id, pair_seed(server_part, hint_part, creation_ordinals_[key]++));
   manual_.emplace(key, id);
   // Manual classes are also registered for the normal search so their
   // base-files participate in matching for other hints.
@@ -68,9 +73,28 @@ std::uint64_t ClassManager::members_of(ClassId id) const {
   return it == members_.end() ? 0 : it->second;
 }
 
+std::uint64_t ClassManager::class_seed(ClassId id) const {
+  const auto it = seeds_.find(id);
+  return it == seeds_.end() ? seed_ : it->second;
+}
+
+std::uint64_t ClassManager::pair_seed(const std::string& server_part,
+                                      const std::string& hint_part,
+                                      std::uint64_t ordinal) const {
+  // hint is folded with the server hash as its FNV seed (not XORed) so
+  // ("ab", "c") and ("a", "bc") mix differently.
+  std::uint64_t state =
+      seed_ ^ util::fnv1a64(hint_part, util::fnv1a64(server_part)) ^ ordinal;
+  return util::splitmix64(state);
+}
+
 ClassId ClassManager::create_class(const http::UrlParts& parts) {
-  const ClassId id = next_id_++;
+  const ClassId id = next_id_;
+  next_id_ += id_stride_;
   members_.emplace(id, 0);
+  const auto key = std::make_pair(parts.server_part, parts.hint_part);
+  seeds_.emplace(id, pair_seed(parts.server_part, parts.hint_part,
+                               creation_ordinals_[key]++));
   by_server_[parts.server_part].push_back(ClassInfo{id, parts.hint_part});
   ++stats_.classes_created;
   return id;
@@ -107,7 +131,15 @@ std::vector<ClassId> ClassManager::candidates(const std::string& server_part,
   // "... and the last (1-a)*N consist of random selections among the rest."
   std::vector<ClassId> rest(eligible.begin() + static_cast<std::ptrdiff_t>(n_popular),
                             eligible.end());
-  rng_.shuffle(rest);
+  // Seed the shuffle per (server-part, hint-part, request ordinal) instead of
+  // drawing from one manager-wide stream: the draw a request sees then does
+  // not depend on which other pairs' requests ran through this manager
+  // before it, so a sharded server makes the same random picks as an
+  // unsharded one (shard routing is by (server-part, hint-part)).
+  util::Rng shuffle_rng(pair_seed(
+      server_part, hint_part,
+      0x5A5A5A5A00000000ull ^ shuffle_ordinals_[{server_part, hint_part}]++));
+  shuffle_rng.shuffle(rest);
   for (const ClassId id : rest) {
     if (order.size() >= config_.max_tries) break;
     order.push_back(id);

@@ -48,11 +48,24 @@ struct GroupingStats {
   std::uint64_t classes_created = 0;
   std::uint64_t manual_hits = 0;
   util::Histogram tries{16};  ///< probes needed per grouped request
+
+  /// Lossless aggregation of per-shard grouping statistics.
+  void merge(const GroupingStats& other) {
+    requests += other.requests;
+    classes_created += other.classes_created;
+    manual_hits += other.manual_hits;
+    tries.merge(other.tries);
+  }
 };
 
 class ClassManager {
  public:
-  ClassManager(GroupingConfig config, std::uint64_t seed);
+  /// `id_first`/`id_stride` partition the class-id space across sharded
+  /// managers: ids are id_first, id_first + id_stride, ... so a sharded
+  /// DeltaServer can recover the owning shard as (id - 1) % num_shards
+  /// while the unsharded default (1, 1) keeps the historical ids 1, 2, 3...
+  ClassManager(GroupingConfig config, std::uint64_t seed, ClassId id_first = 1,
+               ClassId id_stride = 1);
 
   struct Decision {
     ClassId id = 0;
@@ -77,6 +90,14 @@ class ClassManager {
   std::uint64_t members_of(ClassId id) const;
   const GroupingStats& stats() const { return stats_; }
 
+  /// Deterministic per-class seed assigned at creation, derived from the
+  /// manager seed, the class's (server-part, hint-part) and its creation
+  /// ordinal within that pair — never from a shared RNG stream. Because all
+  /// requests of one (server-part, hint-part) land on one shard, the same
+  /// logical class gets the same seed at any shard count, which is what
+  /// keeps Table II byte accounting bit-exact across shard counts.
+  std::uint64_t class_seed(ClassId id) const;
+
  private:
   struct ClassInfo {
     ClassId id;
@@ -87,14 +108,26 @@ class ClassManager {
   /// Eligible candidates in probe order (popular first, then random fill).
   std::vector<ClassId> candidates(const std::string& server_part,
                                   const std::string& hint_part);
+  /// Stateless mix of the manager seed with a (server-part, hint-part) pair
+  /// and a per-pair ordinal; the basis for class seeds and shuffle seeds.
+  std::uint64_t pair_seed(const std::string& server_part, const std::string& hint_part,
+                          std::uint64_t ordinal) const;
 
   GroupingConfig config_;
-  util::Rng rng_;
-  ClassId next_id_ = 1;
+  std::uint64_t seed_;
+  ClassId next_id_;
+  ClassId id_stride_;
   /// server-part -> classes created under it.
   std::map<std::string, std::vector<ClassInfo>> by_server_;
   std::map<ClassId, std::uint64_t> members_;
+  std::map<ClassId, std::uint64_t> seeds_;
   std::map<std::pair<std::string, std::string>, ClassId> manual_;
+  /// Per-(server-part, hint-part) counters driving the candidate shuffle and
+  /// class seeds; keyed by the pair (not globally) so the sequence a given
+  /// pair observes is independent of how other pairs interleave — i.e. of
+  /// how classes are partitioned across shards.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> shuffle_ordinals_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> creation_ordinals_;
   GroupingStats stats_;
 };
 

@@ -133,6 +133,9 @@ LoadedConfig load_config(std::istream& in) {
         server.published_history = parse_u64(value, line_no);
       } else if (key == "seed") {
         server.seed = parse_u64(value, line_no);
+      } else if (key == "server-shards") {
+        server.shards = parse_u64(value, line_no);
+        if (server.shards < 1) fail(line_no, "server-shards must be >= 1");
       } else if (key == "obs-sample-rate") {
         server.obs.sample_rate = parse_double(value, line_no);
         if (server.obs.sample_rate < 0.0 || server.obs.sample_rate > 1.0) {
@@ -197,6 +200,17 @@ LoadedConfig load_config(std::istream& in) {
                         " delta params invalid: " + *problem);
     }
   }
+  // A sharded server needs one store per shard; a disk config hands each
+  // shard its own subdirectory (one DiskBaseStore must own its directory —
+  // two indices over one directory would double-count on restart recovery).
+  if (out.disk_store) {
+    const std::filesystem::path dir = *out.disk_store;
+    const std::size_t shards = out.server.shards;
+    out.server.store_factory = [dir, shards](std::size_t i) -> std::unique_ptr<BaseStore> {
+      return std::make_unique<DiskBaseStore>(
+          shards == 1 ? dir : dir / ("shard-" + std::to_string(i)));
+    };
+  }
   return out;
 }
 
@@ -220,6 +234,7 @@ rebase-timeout-s = 120     # minimum seconds between group-rebases
 anonymizer-m     = 2       # M: chunk kept if common with >= M documents
 anonymizer-n     = 5       # N: documents observed before publication
 base-store       = memory  # or disk:/var/lib/cbde/bases
+server-shards    = 1       # independent delta-server shards (SVI-C capacity)
 
 # Observability (docs/OBSERVABILITY.md): per-request trace sampling rate,
 # histogram resolution (log-linear sub-buckets per octave, power of two),

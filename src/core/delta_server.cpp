@@ -1,5 +1,7 @@
 #include "core/delta_server.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 
@@ -7,16 +9,22 @@ namespace cbde::core {
 
 DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
                          std::unique_ptr<BaseStore> store)
-    : config_(config),
+    : config_(std::move(config)),
       rules_(std::move(rules)),
-      store_(store ? std::move(store) : std::make_unique<MemoryBaseStore>()),
-      shard_(config),
-      obs_(config.obs_instance ? config.obs_instance
-                               : std::make_shared<obs::Obs>(config.obs)) {
-  // Registry instruments are the storage behind PipelineMetrics (metrics()
-  // derives from these handles), so register them unconditionally. Names
-  // follow cbde_<layer>_<name>[_unit] — tools/lint/cbde_lint.py enforces the
-  // shape, docs/OBSERVABILITY.md holds the catalog.
+      obs_(config_.obs_instance ? config_.obs_instance
+                                : std::make_shared<obs::Obs>(config_.obs)) {
+  CBDE_EXPECT(config_.shards >= 1);
+  // The explicit-store parameter predates sharding; one store cannot be
+  // split, so it is only accepted unsharded. Sharded deployments hand each
+  // shard its own store via DeltaServerConfig::store_factory.
+  CBDE_EXPECT(store == nullptr || config_.shards == 1);
+
+  // Registry instruments are the scrape-side mirror of the per-shard ledgers
+  // (metrics() itself merges the ledgers), registered once here and shared
+  // by every shard — the registry is name-keyed with no labels, so a
+  // per-shard registration would collide. Names follow
+  // cbde_<layer>_<name>[_unit] — tools/lint/cbde_lint.py enforces the shape,
+  // docs/OBSERVABILITY.md holds the catalog.
   auto& reg = obs_->registry();
   instr_.requests =
       &reg.counter("cbde_server_requests_total", "Requests served");
@@ -68,29 +76,151 @@ DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
   instr_.anonymizer.docs_observed =
       &reg.counter("cbde_anonymizer_docs_observed_total",
                    "Documents counted toward an anonymization's N");
+
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    std::unique_ptr<BaseStore> shard_store =
+        store != nullptr      ? std::move(store)
+        : config_.store_factory ? config_.store_factory(i)
+                                : std::make_unique<MemoryBaseStore>();
+    CBDE_EXPECT(shard_store != nullptr);
+    shards_.push_back(std::make_unique<DeltaServerShard>(
+        config_, i, /*id_stride=*/config_.shards, std::move(shard_store), *obs_,
+        instr_));
+  }
+}
+
+std::size_t DeltaServer::route(std::string_view server_part, std::string_view hint_part,
+                               std::size_t num_shards) {
+  CBDE_EXPECT(num_shards >= 1);
+  if (num_shards == 1) return 0;
+  const auto as_bytes = [](std::string_view s) {
+    return util::BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  };
+  // crc32 chains like zlib's: crc32(b, crc32(a)) == crc32(a + b). The NUL
+  // separator keeps ("ab", "c") and ("a", "bc") independent.
+  static constexpr std::uint8_t kSep = 0;
+  std::uint32_t h = util::crc32(as_bytes(server_part));
+  h = util::crc32(util::BytesView(&kSep, 1), h);
+  h = util::crc32(as_bytes(hint_part), h);
+  return h % num_shards;
+}
+
+std::size_t DeltaServer::shard_of_class(ClassId id) const {
+  // Ids start at 1 and stripe as index + 1 + k * shards; map the "no class"
+  // id 0 to shard 0 so lookups on it fall through to a clean miss there.
+  return id == 0 ? 0 : static_cast<std::size_t>((id - 1) % shards_.size());
+}
+
+ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
+                                  util::BytesView doc, util::SimTime now,
+                                  std::shared_ptr<obs::TraceContext> trace) {
+  CBDE_EXPECT(!url.host.empty());
+  CBDE_EXPECT(now >= 0);
+  // Partitioning is pure (the RuleBook is immutable), so it runs before any
+  // lock; the same parts then both pick the shard and feed grouping.
+  const http::UrlParts parts = rules_.partition(url);
+  DeltaServerShard& shard =
+      *shards_[route(parts.server_part, parts.hint_part, shards_.size())];
+  return shard.serve(user_id, parts, url, doc, now, std::move(trace));
+}
+
+std::optional<PublishedBase> DeltaServer::published_base(ClassId id) const {
+  return shards_[shard_of_class(id)]->published_base(id);
+}
+
+std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
+                                                   std::uint32_t version) const {
+  return shards_[shard_of_class(id)]->fetch_base(id, version);
+}
+
+const BaseStore& DeltaServer::base_store(std::size_t shard) const {
+  CBDE_EXPECT(shard < shards_.size());
+  return shards_[shard]->store();
+}
+
+std::size_t DeltaServer::store_entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->store().entries();
+  return total;
+}
+
+std::size_t DeltaServer::store_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->store().bytes_stored();
+  return total;
 }
 
 PipelineMetrics DeltaServer::metrics() const {
-  const LockGuard lock(mu_);
-  PipelineMetrics m;
-  m.requests = instr_.requests->value();
-  m.direct_responses = instr_.direct_responses->value();
-  m.delta_responses = instr_.delta_responses->value();
-  m.direct_bytes = instr_.direct_bytes->value();
-  m.wire_bytes = instr_.wire_bytes->value();
-  m.base_wire_bytes = instr_.base_wire_bytes->value();
-  m.group_rebases = instr_.group_rebases->value();
-  m.basic_rebases = instr_.basic_rebases->value();
-  m.anonymizations_completed = instr_.anonymizations->value();
-  m.cpu_us_total = instr_.cpu_us->value();
-  return m;
+  PipelineMetrics merged;
+  for (const auto& shard : shards_) merged.merge(shard->ledger());
+  return merged;
 }
 
-DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
-  auto it = shard().states.find(id);
-  if (it == shard().states.end()) {
-    it = shard().states
-             .emplace(id, std::make_unique<ClassState>(config_, shard().rng.next_u64()))
+PipelineMetrics DeltaServer::shard_metrics(std::size_t shard) const {
+  CBDE_EXPECT(shard < shards_.size());
+  return shards_[shard]->ledger();
+}
+
+GroupingStats DeltaServer::grouping_stats() const {
+  GroupingStats merged;
+  for (const auto& shard : shards_) merged.merge(shard->grouping_stats());
+  return merged;
+}
+
+std::size_t DeltaServer::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->storage_bytes();
+  // The gauge mirrors the last audit; per-request maintenance would cost a
+  // full class walk on the hot path for a number only scrapes care about.
+  instr_.storage->set(static_cast<std::int64_t>(total));
+  return total;
+}
+
+std::vector<ClassSummary> DeltaServer::class_summaries() const {
+  std::vector<ClassSummary> out;
+  for (const auto& shard : shards_) shard->append_class_summaries(out);
+  // Shards stripe the id space, so per-shard output interleaves; present one
+  // id-ordered view regardless of shard count.
+  std::sort(out.begin(), out.end(),
+            [](const ClassSummary& a, const ClassSummary& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t DeltaServer::classless_storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->classless_storage_bytes();
+  return total;
+}
+
+std::size_t DeltaServer::num_classes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_classes();
+  return total;
+}
+
+DeltaServerShard::DeltaServerShard(const DeltaServerConfig& config, std::size_t index,
+                                   ClassId id_stride, std::unique_ptr<BaseStore> store,
+                                   obs::Obs& obs, const ServerInstruments& instr)
+    : config_(config),
+      index_(index),
+      store_(std::move(store)),
+      obs_(obs),
+      instr_(instr),
+      classes_(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull,
+               /*id_first=*/static_cast<ClassId>(index) + 1, id_stride) {
+  CBDE_EXPECT(index_ < id_stride);  // id_stride is the server's shard count
+  CBDE_EXPECT(store_ != nullptr);
+}
+
+DeltaServerShard::ClassState& DeltaServerShard::state_of(ClassId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    // The seed comes from the class's identity (ClassManager::class_seed),
+    // not from a shard-local RNG stream, so the selector draws the same
+    // sampling decisions for the same class at any shard count.
+    it = states_
+             .emplace(id, std::make_unique<ClassState>(config_, classes_.class_seed(id)))
              .first;
     it->second->selector.set_instruments(instr_.selector);
     it->second->anonymizer.set_instruments(instr_.anonymizer);
@@ -98,17 +228,18 @@ DeltaServer::ClassState& DeltaServer::state_of(ClassId id) {
   return *it->second;
 }
 
-std::shared_ptr<const delta::Encoder> DeltaServer::make_working_encoder(
+std::shared_ptr<const delta::Encoder> DeltaServerShard::make_working_encoder(
     util::BytesView doc) const {
-  // sema: ok(light-param index built once per class creation, not per request; moving it off-lock is ROADMAP item 1)
+  // sema: ok(light-param index built only at class create/rebase, never per request; amortized off the hot path)
   return std::make_shared<const delta::Encoder>(util::Bytes(doc.begin(), doc.end()),
                                                 config_.grouping.light_params);
 }
 
-void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime now) {
+void DeltaServerShard::start_publication(ClassId id, ClassState& cls,
+                                         util::SimTime now) {
   if (!config_.anonymize) {
     // No privacy requirement: publish the working base immediately.
-    // sema: ok(transmit index built only on publication (class create/rebase), not per request; off-lock rebuild is ROADMAP item 1)
+    // sema: ok(transmit index built only on publication (class create/rebase), not per request)
     cls.transmit_encoder = std::make_shared<const delta::Encoder>(
         cls.working_encoder->base(), config_.transmit_params);
     ++cls.published_version;
@@ -119,47 +250,50 @@ void DeltaServer::start_publication(ClassId id, ClassState& cls, util::SimTime n
   cls.anonymizer.begin(cls.working_encoder->base(), cls.working_owner);
 }
 
-void DeltaServer::maybe_complete_publication(ClassId id, ClassState& cls,
-                                             util::SimTime now) {
+void DeltaServerShard::maybe_complete_publication(ClassId id, ClassState& cls,
+                                                  util::SimTime now) {
   if (!cls.anonymizer.ready()) return;
-  // sema: ok(transmit index rebuilt only when an anonymization round completes, not per request; off-lock rebuild is ROADMAP item 1)
+  // sema: ok(transmit index rebuilt only when an anonymization round completes, not per request)
   cls.transmit_encoder = std::make_shared<const delta::Encoder>(
       cls.anonymizer.finalize(), config_.transmit_params);
   ++cls.published_version;
   record_publication(id, cls, now);
   cls.last_group_rebase = now;
   instr_.anonymizations->inc();
-  obs_->emit(obs::EventKind::kAnonymizationComplete, now, id,
-             {{"version", std::to_string(cls.published_version)}});
+  ++ledger_.anonymizations_completed;
+  obs_.emit(obs::EventKind::kAnonymizationComplete, now, id,
+            {{"version", std::to_string(cls.published_version)}});
 }
 
-void DeltaServer::record_publication(ClassId id, ClassState& cls, util::SimTime now) {
+void DeltaServerShard::record_publication(ClassId id, ClassState& cls,
+                                          util::SimTime now) {
   store_->put(id, cls.published_version, util::as_view(cls.transmit_encoder->base()));
   cls.retained_versions.push_back(cls.published_version);
   while (cls.retained_versions.size() > config_.published_history) {
     store_->erase(id, cls.retained_versions.front());
     cls.retained_versions.erase(cls.retained_versions.begin());
   }
-  obs_->emit(obs::EventKind::kBasePublished, now, id,
-             {{"version", std::to_string(cls.published_version)},
-              {"size", std::to_string(cls.transmit_encoder->base().size())}});
+  obs_.emit(obs::EventKind::kBasePublished, now, id,
+            {{"version", std::to_string(cls.published_version)},
+             {"size", std::to_string(cls.transmit_encoder->base().size())}});
 }
 
-ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
-                                  util::BytesView doc, util::SimTime now,
-                                  std::shared_ptr<obs::TraceContext> trace) {
-  CBDE_EXPECT(!url.host.empty());
-  CBDE_EXPECT(now >= 0);
+ServedResponse DeltaServerShard::serve(std::uint64_t user_id,
+                                       const http::UrlParts& parts,
+                                       const http::Url& url, util::BytesView doc,
+                                       util::SimTime now,
+                                       std::shared_ptr<obs::TraceContext> trace) {
   ServedResponse out;
   out.doc_size = doc.size();
-  if (trace == nullptr) trace = obs_->maybe_trace();
+  if (trace == nullptr) trace = obs_.maybe_trace();
   obs::TraceContext* tc = trace.get();
   obs::Span serve_span(tc, "serve");
   instr_.doc_size->observe(doc.size());
 
   // Phase 1 — locked: bookkeeping, grouping, selector/anonymizer feeding,
   // publication progress; ends by snapshotting the class's published-base
-  // encoder so the expensive encode can run outside the lock.
+  // encoder so the expensive encode can run outside the lock. The lock is
+  // this shard's — requests routed to other shards never wait here.
   ClassState* cls_ptr = nullptr;
   std::shared_ptr<const delta::Encoder> transmit;
   std::uint32_t snap_version = 0;
@@ -167,30 +301,32 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     obs::Span group_span(tc, "group");
     const LockGuard lock(mu_);
     instr_.requests->inc();
+    ++ledger_.requests;
     instr_.direct_bytes->add(doc.size());
+    ledger_.direct_bytes += doc.size();
 
     // Classless-storage bookkeeping: basic delta-encoding would store one
     // base-file per (user, URL).
     {
       const std::uint64_t key =
           util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
-      auto [it, inserted] = shard().classless_docs.try_emplace(key, doc.size());
+      auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
       const std::size_t previous = inserted ? 0 : it->second;
-      shard().classless_storage_bytes += doc.size();
-      shard().classless_storage_bytes -= previous;
+      classless_storage_bytes_ += doc.size();
+      classless_storage_bytes_ -= previous;
       it->second = doc.size();
     }
 
-    // 1. Partition the URL and group the request into a class. Probes run
-    // against the cached per-class light encoders — no index is built here.
-    // The probe callback runs synchronously inside group() with mu_ held,
-    // but the analysis cannot see into the lambda, so it reaches the class
-    // table through a local alias established under the lock.
-    const http::UrlParts parts = rules_.partition(url);
-    const auto& states = shard().states;
+    // 1. Group the request into a class (the URL was already partitioned —
+    // and routed — by the server). Probes run against the cached per-class
+    // light encoders — no index is built here. The probe callback runs
+    // synchronously inside group() with mu_ held, but the analysis cannot
+    // see into the lambda, so it reaches the class table through a local
+    // alias established under the lock.
+    const auto& states = states_;
     const auto decision =
         // sema: ok(probe callback runs synchronously inside group() while mu_ is held; ClassManager never stores it)
-        shard().classes.group(parts, doc, [&states](ClassId id) -> const delta::Encoder* {
+        classes_.group(parts, doc, [&states](ClassId id) -> const delta::Encoder* {
           const auto it = states.find(id);
           return it == states.end() ? nullptr : it->second->working_encoder.get();
         });
@@ -202,10 +338,12 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
     group_span.tag("tries", std::to_string(decision.tries));
     if (decision.created) {
       instr_.classes_created->inc();
-      instr_.classes->set(static_cast<std::int64_t>(shard().classes.num_classes()));
-      obs_->emit(obs::EventKind::kClassCreated, now, decision.id,
-                 {{"user", std::to_string(user_id)},
-                  {"tries", std::to_string(decision.tries)}});
+      // add(), not set(): the gauge is shared by all shards (classes are
+      // never destroyed, so creations == live classes).
+      instr_.classes->add(1);
+      obs_.emit(obs::EventKind::kClassCreated, now, decision.id,
+                {{"user", std::to_string(user_id)},
+                 {"tries", std::to_string(decision.tries)}});
     }
 
     ClassState& cls = state_of(decision.id);
@@ -275,26 +413,33 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
       out.mode = ServedResponse::Mode::kDelta;
       out.base_version = snap_version;
       const auto key = std::make_pair(user_id, out.class_id);
-      const auto it = shard().client_versions.find(key);
-      if (it == shard().client_versions.end() || it->second != snap_version) {
+      const auto it = client_versions_.find(key);
+      if (it == client_versions_.end() || it->second != snap_version) {
         out.base_needed = true;
         out.base_size = transmit->base().size();
-        shard().client_versions[key] = snap_version;
+        client_versions_[key] = snap_version;
       }
       out.wire_body = std::move(delta_wire);
       out.wire_compressed = config_.compress_deltas;
       instr_.delta_responses->inc();
+      ++ledger_.delta_responses;
     } else {
       out.mode = ServedResponse::Mode::kDirect;
       out.wire_body.assign(doc.begin(), doc.end());
       instr_.direct_responses->inc();
+      ++ledger_.direct_responses;
     }
     // A delta response is only worth sending if it beats the document.
     CBDE_ASSERT_INVARIANT(out.mode == ServedResponse::Mode::kDirect ||
                           out.wire_body.size() < out.doc_size);
     instr_.wire_bytes->add(out.wire_body.size());
-    if (out.base_needed) instr_.base_wire_bytes->add(out.base_size);
+    ledger_.wire_bytes += out.wire_body.size();
+    if (out.base_needed) {
+      instr_.base_wire_bytes->add(out.base_size);
+      ledger_.base_wire_bytes += out.base_size;
+    }
     instr_.cpu_us->add(out.cpu_us);
+    ledger_.cpu_us_total += out.cpu_us;
 
     // 4. Basic-rebase: consecutive relatively-large deltas flush the class.
     if (cls.published_version > 0) {
@@ -308,9 +453,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
         start_publication(out.class_id, cls, now);
         out.basic_rebase = true;
         instr_.basic_rebases->inc();
-        obs_->emit(obs::EventKind::kBasicRebase, now, out.class_id,
-                   {{"delta_size", std::to_string(out.delta_size)},
-                    {"doc_size", std::to_string(out.doc_size)}});
+        ++ledger_.basic_rebases;
+        obs_.emit(obs::EventKind::kBasicRebase, now, out.class_id,
+                  {{"delta_size", std::to_string(out.delta_size)},
+                   {"doc_size", std::to_string(out.doc_size)}});
       }
     }
 
@@ -324,8 +470,9 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
         start_publication(out.class_id, cls, now);
         out.group_rebase = true;
         instr_.group_rebases->inc();
-        obs_->emit(obs::EventKind::kGroupRebase, now, out.class_id,
-                   {{"base_size", std::to_string(best->size())}});
+        ++ledger_.group_rebases;
+        obs_.emit(obs::EventKind::kGroupRebase, now, out.class_id,
+                  {{"base_size", std::to_string(best->size())}});
         // Avoid immediate re-trigger while the new base awaits anonymization.
         cls.last_group_rebase = now;
       }
@@ -344,10 +491,10 @@ ServedResponse DeltaServer::serve(std::uint64_t user_id, const http::Url& url,
   return out;
 }
 
-std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id) const {
+std::optional<PublishedBase> DeltaServerShard::published_base(ClassId id) const {
   const LockGuard lock(mu_);
-  const auto it = shard().states.find(id);
-  if (it == shard().states.end() || it->second->published_version == 0) return std::nullopt;
+  const auto it = states_.find(id);
+  if (it == states_.end() || it->second->published_version == 0) return std::nullopt;
   // Hand out a shared_ptr snapshot alongside the view: the encoder (and the
   // base bytes the view points into) stay alive even if a rebase swaps
   // transmit_encoder right after the lock drops.
@@ -356,26 +503,25 @@ std::optional<DeltaServer::PublishedBase> DeltaServer::published_base(ClassId id
                        std::move(keep)};
 }
 
-std::optional<util::Bytes> DeltaServer::fetch_base(ClassId id,
-                                                   std::uint32_t version) const {
+std::optional<util::Bytes> DeltaServerShard::fetch_base(ClassId id,
+                                                        std::uint32_t version) const {
   const LockGuard lock(mu_);
   // Hot path: the current version is cached in memory.
-  const auto it = shard().states.find(id);
-  if (it != shard().states.end() && it->second->published_version == version &&
+  const auto it = states_.find(id);
+  if (it != states_.end() && it->second->published_version == version &&
       version != 0) {
     return it->second->transmit_encoder->base();
   }
   return store_->get(id, version);
 }
 
-std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
+void DeltaServerShard::append_class_summaries(std::vector<ClassSummary>& out) const {
   const LockGuard lock(mu_);
-  std::vector<ClassSummary> out;
-  out.reserve(shard().states.size());
-  for (const auto& [id, cls] : shard().states) {
+  out.reserve(out.size() + states_.size());
+  for (const auto& [id, cls] : states_) {
     ClassSummary summary;
     summary.id = id;
-    summary.members = shard().classes.members_of(id);
+    summary.members = classes_.members_of(id);
     summary.published_version = cls->published_version;
     summary.published_size =
         cls->transmit_encoder ? cls->transmit_encoder->base().size() : 0;
@@ -385,23 +531,19 @@ std::vector<DeltaServer::ClassSummary> DeltaServer::class_summaries() const {
     summary.anonymizing = cls->anonymizer.in_progress();
     out.push_back(summary);
   }
-  return out;
 }
 
-std::size_t DeltaServer::storage_bytes() const {
+std::size_t DeltaServerShard::storage_bytes() const {
   const LockGuard lock(mu_);
   // Retained published versions live in the base store (the in-memory copy
   // of each current base is a cache, not extra footprint).
   std::size_t total = store_->bytes_stored();
-  for (const auto& [id, cls] : shard().states) {
+  for (const auto& [id, cls] : states_) {
     total += cls->working_encoder ? cls->working_encoder->base().size() : 0;
     total += cls->anonymizer.in_progress() ? cls->anonymizer.pending_base().size() : 0;
     // Selector samples are part of the server-side footprint too.
     total += cls->selector.stored_bytes();
   }
-  // The gauge mirrors the last audit; per-request maintenance would cost a
-  // full class walk on the hot path for a number only scrapes care about.
-  instr_.storage->set(static_cast<std::int64_t>(total));
   return total;
 }
 

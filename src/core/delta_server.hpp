@@ -15,12 +15,22 @@
 //                  and all stored samples are flushed.
 // A freshly (re)based base-file is only published once anonymization
 // completes; until then the previous published base keeps serving (§V).
+//
+// Scaling (the paper's whole pitch): the server is SHARDED. Classes are
+// partitioned over `DeltaServerConfig::shards` independent DeltaServerShard
+// instances by a stable crc32 of the request's (server-part, hint-part);
+// each shard owns its own mutex, ClassManager, class states, base store and
+// byte ledger, so requests to different shards never contend. There is no
+// global lock anywhere in the serve path — DeltaServer itself is a stateless
+// router plus a merger for the read-side accessors.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/anonymizer.hpp"
@@ -74,6 +84,15 @@ struct DeltaServerConfig {
   std::size_t published_history = 3;
   DeltaCpuModel cpu;
   std::uint64_t seed = 7;
+  /// Independent server shards. Requests route by
+  /// crc32("server-part\0hint-part") % shards (DeltaServer::route), so all
+  /// requests of one partition pair — and therefore every class, since
+  /// classes never span pairs — live on exactly one shard. 1 = the
+  /// unsharded behavior, byte-for-byte identical to the historical server.
+  std::size_t shards = 1;
+  /// Base store built for each shard; null = one MemoryBaseStore per shard.
+  /// (A DiskBaseStore factory should hand each shard its own directory.)
+  std::function<std::unique_ptr<BaseStore>(std::size_t shard_index)> store_factory;
   /// Observability domain settings (sampling rate, histogram resolution,
   /// event-log sink); used only when `obs_instance` is null.
   obs::ObsConfig obs;
@@ -111,96 +130,102 @@ struct ServedResponse {
   std::shared_ptr<obs::TraceContext> trace;
 };
 
-class DeltaServer {
+/// Published (client-visible) base-file of a class, if any. `bytes` views
+/// storage owned by `keepalive`, so the view stays valid after the server
+/// rebases the class (or is destroyed) — callers need no lock discipline.
+struct PublishedBase {
+  std::uint32_t version = 0;
+  util::BytesView bytes;
+  std::shared_ptr<const delta::Encoder> keepalive;
+};
+
+/// Operational snapshot of one class.
+struct ClassSummary {
+  ClassId id = 0;
+  std::uint64_t members = 0;
+  std::uint32_t published_version = 0;
+  std::size_t published_size = 0;
+  std::size_t working_size = 0;
+  std::size_t selector_samples = 0;
+  bool anonymizing = false;
+};
+
+/// Handles into the obs registry backing PipelineMetrics plus the serve
+/// latency/size distributions. Registered once by the DeltaServer (the
+/// registry is name-keyed and label-free) and shared by every shard:
+/// the instruments themselves are atomic, so cross-shard increments are
+/// safe; snapshot *consistency* comes from the per-shard ledgers, not from
+/// these (see PipelineMetrics::merge for the convention).
+struct ServerInstruments {
+  obs::Counter* requests = nullptr;
+  obs::Counter* direct_responses = nullptr;
+  obs::Counter* delta_responses = nullptr;
+  obs::Counter* direct_bytes = nullptr;
+  obs::Counter* wire_bytes = nullptr;
+  obs::Counter* base_wire_bytes = nullptr;
+  obs::Counter* group_rebases = nullptr;
+  obs::Counter* basic_rebases = nullptr;
+  obs::Counter* anonymizations = nullptr;
+  obs::Counter* classes_created = nullptr;
+  obs::Counter* delta_fallbacks = nullptr;
+  obs::DoubleCounter* cpu_us = nullptr;
+  obs::Gauge* classes = nullptr;
+  obs::Gauge* storage = nullptr;
+  obs::Histogram* encode_latency = nullptr;
+  obs::Histogram* delta_size = nullptr;
+  obs::Histogram* doc_size = nullptr;
+  /// Handed to every per-class selector/anonymizer, so their counts
+  /// aggregate across classes.
+  SelectorInstruments selector;
+  AnonymizerInstruments anonymizer;
+};
+
+/// One shard: the complete class-based delta-encoding machinery for the
+/// subset of (server-part, hint-part) pairs that hash to it. Everything
+/// mutable is guarded by the shard's own mu_; shards share nothing mutable
+/// except the internally-synchronized obs instruments.
+class DeltaServerShard {
  public:
-  /// `store` holds retained published base-file versions; defaults to an
-  /// in-memory store. Pass a DiskBaseStore for persistence across restarts.
-  DeltaServer(DeltaServerConfig config, http::RuleBook rules,
-              std::unique_ptr<BaseStore> store = nullptr);
+  /// `config` and `instr` are owned by the DeltaServer and must outlive the
+  /// shard. `id_stride` is the server's shard count, so class ids satisfy
+  /// (id - 1) % id_stride == index and route back here without a lookup.
+  DeltaServerShard(const DeltaServerConfig& config, std::size_t index,
+                   ClassId id_stride, std::unique_ptr<BaseStore> store,
+                   obs::Obs& obs, const ServerInstruments& instr);
 
-  /// Process one request: `doc` is the current snapshot obtained from the
-  /// web-server. Advances all class machinery and returns the response.
-  ///
-  /// Thread-safe: concurrent calls are allowed (DeltaWorkerPool drives this
-  /// from several threads). Internally the request runs in three phases —
-  /// locked bookkeeping/grouping, *unlocked* delta encode + compression
-  /// against a shared_ptr snapshot of the class's published-base encoder,
-  /// then locked commit (metrics, client versions, rebase decisions). The
-  /// snapshot means a concurrent rebase can never invalidate an in-flight
-  /// encode; the delta is simply against the version the response reports.
-  /// `trace` carries an already-sampled trace context (the worker pool
-  /// passes the one it opened at submit time, so queue wait and serve stages
-  /// land in the same trace); null lets serve() make its own sampling
-  /// decision via Obs::maybe_trace().
-  ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
-                       util::SimTime now,
-                       std::shared_ptr<obs::TraceContext> trace = nullptr)
-      EXCLUDES(mu_);
+  /// One request, already partitioned and routed here. Same three-phase
+  /// shape the unsharded server had — locked bookkeeping/grouping, unlocked
+  /// encode+compress against an encoder snapshot, locked commit — except mu_
+  /// now serializes only this shard's classes.
+  ServedResponse serve(std::uint64_t user_id, const http::UrlParts& parts,
+                       const http::Url& url, util::BytesView doc, util::SimTime now,
+                       std::shared_ptr<obs::TraceContext> trace) EXCLUDES(mu_);
 
-  /// Published (client-visible) base-file of a class, if any. `bytes` views
-  /// storage owned by `keepalive`, so the view stays valid after the server
-  /// rebases the class (or is destroyed) — callers need no lock discipline.
-  struct PublishedBase {
-    std::uint32_t version = 0;
-    util::BytesView bytes;
-    std::shared_ptr<const delta::Encoder> keepalive;
-  };
   std::optional<PublishedBase> published_base(ClassId id) const EXCLUDES(mu_);
-
-  /// A specific retained version (current or recent history) from the base
-  /// store; nullopt if the class is unknown or the version has aged out.
   std::optional<util::Bytes> fetch_base(ClassId id, std::uint32_t version) const
       EXCLUDES(mu_);
 
-  /// The store is internally synchronized, so direct inspection is safe even
-  /// while workers are serving.
-  const BaseStore& base_store() const { return *store_; }
-
-  /// Consistent snapshot of the pipeline counters, derived from the
-  /// observability registry (the registry instruments are the storage, so
-  /// PipelineMetrics and a Prometheus scrape can never drift apart). Every
-  /// increment happens while mu_ is held, so taking mu_ here yields a
-  /// cross-metric-consistent snapshot.
-  PipelineMetrics metrics() const EXCLUDES(mu_);
-
-  /// The telemetry domain this server records into (shared with the worker
-  /// pool / pipeline when DeltaServerConfig::obs_instance was set).
-  obs::Obs& obs() const { return *obs_; }
-  std::shared_ptr<obs::Obs> obs_ptr() const { return obs_; }
-  /// Consistent snapshot of the grouping statistics (§III instrumentation).
+  /// Snapshot of this shard's byte ledger — internally consistent because
+  /// every request commits all of its counters under mu_.
+  PipelineMetrics ledger() const EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return ledger_;
+  }
   GroupingStats grouping_stats() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return shard().classes.stats();
+    return classes_.stats();
   }
-  const http::RuleBook& rules() const { return rules_; }
-
-  /// Server-side storage the scheme requires: working + published bases and
-  /// selector samples across all classes (the paper's scalability metric).
+  void append_class_summaries(std::vector<ClassSummary>& out) const EXCLUDES(mu_);
   std::size_t storage_bytes() const EXCLUDES(mu_);
-
-  /// Operational snapshot of one class.
-  struct ClassSummary {
-    ClassId id = 0;
-    std::uint64_t members = 0;
-    std::uint32_t published_version = 0;
-    std::size_t published_size = 0;
-    std::size_t working_size = 0;
-    std::size_t selector_samples = 0;
-    bool anonymizing = false;
-  };
-  std::vector<ClassSummary> class_summaries() const EXCLUDES(mu_);
-
-  /// What classless delta-encoding would store instead: one base-file per
-  /// distinct (user, URL) pair seen.
   std::size_t classless_storage_bytes() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return shard().classless_storage_bytes;
+    return classless_storage_bytes_;
   }
-
   std::size_t num_classes() const EXCLUDES(mu_) {
     LockGuard lock(mu_);
-    return shard().classes.num_classes();
+    return classes_.num_classes();
   }
+  const BaseStore& store() const { return *store_; }
 
  private:
   struct ClassState {
@@ -226,65 +251,6 @@ class DeltaServer {
         : selector(config.selector, seed), anonymizer(config.anonymizer) {}
   };
 
-  /// Handles into the obs registry backing PipelineMetrics plus the serve
-  /// latency/size distributions. Pointers are set once in the constructor
-  /// and immutable after; the instruments themselves are atomic. All
-  /// PipelineMetrics-backing counters are incremented with mu_ held so
-  /// metrics() snapshots stay cross-metric consistent (the histograms are
-  /// observed unlocked — they are distributions, not ledger entries).
-  struct Instruments {
-    obs::Counter* requests = nullptr;
-    obs::Counter* direct_responses = nullptr;
-    obs::Counter* delta_responses = nullptr;
-    obs::Counter* direct_bytes = nullptr;
-    obs::Counter* wire_bytes = nullptr;
-    obs::Counter* base_wire_bytes = nullptr;
-    obs::Counter* group_rebases = nullptr;
-    obs::Counter* basic_rebases = nullptr;
-    obs::Counter* anonymizations = nullptr;
-    obs::Counter* classes_created = nullptr;
-    obs::Counter* delta_fallbacks = nullptr;
-    obs::DoubleCounter* cpu_us = nullptr;
-    obs::Gauge* classes = nullptr;
-    obs::Gauge* storage = nullptr;
-    obs::Histogram* encode_latency = nullptr;
-    obs::Histogram* delta_size = nullptr;
-    obs::Histogram* doc_size = nullptr;
-    /// Handed to every per-class selector/anonymizer, so their counts
-    /// aggregate across classes.
-    SelectorInstruments selector;
-    AnonymizerInstruments anonymizer;
-  };
-
-  /// Every mutable field mu_ protects, gathered into one value so ROADMAP
-  /// item 1 (sharding the server) becomes `std::vector<ShardState>` plus a
-  /// partition hash instead of field-by-field surgery. Pure container: all
-  /// behavior stays on DeltaServer.
-  struct ShardState {
-    explicit ShardState(const DeltaServerConfig& config)
-        : classes(config.grouping, config.seed ^ 0x9E3779B97F4A7C15ull),
-          rng(config.seed) {}
-
-    ClassManager classes;
-    /// ClassState objects are owned by unique_ptr map values and never
-    /// erased, so a ClassState* stays valid across an unlock — but its
-    /// fields follow the map's discipline: touch them only while holding
-    /// the owning shard's mutex.
-    std::map<ClassId, std::unique_ptr<ClassState>> states;
-    /// Base version each (client, class) currently holds.
-    std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions;
-    /// Distinct (user, url) -> last document size, for the
-    /// classless-storage comparison.
-    std::map<std::uint64_t, std::size_t> classless_docs;
-    std::size_t classless_storage_bytes = 0;
-    util::Rng rng;
-  };
-
-  /// Accessors keep call sites shard-count agnostic: when the server
-  /// shards, these become shard_for(key) without touching callers.
-  ShardState& shard() REQUIRES(mu_) { return shard_; }
-  const ShardState& shard() const REQUIRES(mu_) { return shard_; }
-
   ClassState& state_of(ClassId id) REQUIRES(mu_);
   std::shared_ptr<const delta::Encoder> make_working_encoder(util::BytesView doc) const;
   void start_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
@@ -292,15 +258,136 @@ class DeltaServer {
       REQUIRES(mu_);
   void record_publication(ClassId id, ClassState& cls, util::SimTime now) REQUIRES(mu_);
 
-  DeltaServerConfig config_;  // immutable after construction
-  http::RuleBook rules_;      // immutable after construction
+  const DeltaServerConfig& config_;  // owned by the server, immutable
+  const std::size_t index_;          ///< this shard's position in the server
   /// The pointer is immutable after construction; the store itself is
   /// internally synchronized (see BaseStore), so it carries no GUARDED_BY.
   std::unique_ptr<BaseStore> store_;
-  ShardState shard_ GUARDED_BY(mu_);
-  std::shared_ptr<obs::Obs> obs_;  // immutable after construction
-  Instruments instr_;              // immutable after construction
+  obs::Obs& obs_;                    // internally synchronized
+  const ServerInstruments& instr_;   // owned by the server, atomic handles
+  ClassManager classes_ GUARDED_BY(mu_);
+  /// ClassState objects are owned by unique_ptr map values and never
+  /// erased, so a ClassState* stays valid across an unlock — but its
+  /// fields follow the map's discipline: touch them only while holding mu_.
+  std::map<ClassId, std::unique_ptr<ClassState>> states_ GUARDED_BY(mu_);
+  /// Base version each (client, class) currently holds.
+  std::map<std::pair<std::uint64_t, ClassId>, std::uint32_t> client_versions_
+      GUARDED_BY(mu_);
+  /// Distinct (user, url) -> last document size, for the classless-storage
+  /// comparison.
+  std::map<std::uint64_t, std::size_t> classless_docs_ GUARDED_BY(mu_);
+  std::size_t classless_storage_bytes_ GUARDED_BY(mu_) = 0;
+  /// This shard's share of PipelineMetrics. Kept as a plain struct beside
+  /// the atomic registry instruments so metrics() can take a per-shard-
+  /// consistent snapshot without any cross-shard lock.
+  PipelineMetrics ledger_ GUARDED_BY(mu_);
   mutable Mutex mu_;
+};
+
+/// The sharded server: routes each request to the owning shard and merges
+/// the shards for every read-side accessor. Holds no mutable state of its
+/// own — and therefore no lock.
+class DeltaServer {
+ public:
+  /// Compat aliases: these used to be nested classes before the server was
+  /// sharded, and all call sites name them through DeltaServer::.
+  using PublishedBase = cbde::core::PublishedBase;
+  using ClassSummary = cbde::core::ClassSummary;
+
+  /// `store` holds retained published base-file versions; defaults to an
+  /// in-memory store per shard. The explicit-store parameter predates
+  /// sharding and is only accepted with shards == 1; sharded deployments
+  /// use DeltaServerConfig::store_factory.
+  DeltaServer(DeltaServerConfig config, http::RuleBook rules,
+              std::unique_ptr<BaseStore> store = nullptr);
+
+  /// Process one request: `doc` is the current snapshot obtained from the
+  /// web-server. Advances all class machinery and returns the response.
+  ///
+  /// Thread-safe: concurrent calls are allowed (DeltaWorkerPool drives this
+  /// from several threads). The URL is partitioned lock-free (RuleBook is
+  /// immutable), the request routes to its shard, and only that shard's
+  /// mutex is ever taken — requests on different shards proceed fully in
+  /// parallel. See DeltaServerShard::serve for the three-phase shape.
+  /// `trace` carries an already-sampled trace context (the worker pool
+  /// passes the one it opened at submit time, so queue wait and serve stages
+  /// land in the same trace); null lets serve() make its own sampling
+  /// decision via Obs::maybe_trace().
+  ServedResponse serve(std::uint64_t user_id, const http::Url& url, util::BytesView doc,
+                       util::SimTime now,
+                       std::shared_ptr<obs::TraceContext> trace = nullptr);
+
+  /// Published (client-visible) base-file of a class, if any; served by the
+  /// owning shard.
+  std::optional<PublishedBase> published_base(ClassId id) const;
+
+  /// A specific retained version (current or recent history) from the
+  /// owning shard's base store; nullopt if the class is unknown or the
+  /// version has aged out.
+  std::optional<util::Bytes> fetch_base(ClassId id, std::uint32_t version) const;
+
+  /// One shard's base store (shard 0 by default, the whole store when
+  /// unsharded). Stores are internally synchronized, so direct inspection
+  /// is safe even while workers are serving.
+  const BaseStore& base_store(std::size_t shard = 0) const;
+  /// Aggregates across every shard's store.
+  std::size_t store_entries() const;
+  std::size_t store_bytes() const;
+
+  /// Merged snapshot of the pipeline counters: the sum of the per-shard
+  /// ledgers, visited in ascending shard order, each read under its own
+  /// shard mutex. Every increment commits under a shard mutex, so each
+  /// addend — and therefore the merge — satisfies the conservation
+  /// identities; see PipelineMetrics::merge for the exact convention. The
+  /// registry instruments carry the same totals for scrapes (parity is
+  /// pinned by tests), so the two reports cannot drift.
+  PipelineMetrics metrics() const;
+  /// One shard's ledger (consistent under that shard's mutex).
+  PipelineMetrics shard_metrics(std::size_t shard) const;
+
+  /// The telemetry domain this server records into (shared with the worker
+  /// pool / pipeline when DeltaServerConfig::obs_instance was set).
+  obs::Obs& obs() const { return *obs_; }
+  std::shared_ptr<obs::Obs> obs_ptr() const { return obs_; }
+  /// Merged grouping statistics (§III instrumentation); same ascending
+  /// shard-order snapshot convention as metrics().
+  GroupingStats grouping_stats() const;
+  const http::RuleBook& rules() const { return rules_; }
+
+  /// Server-side storage the scheme requires: working + published bases and
+  /// selector samples across all classes of all shards (the paper's
+  /// scalability metric).
+  std::size_t storage_bytes() const;
+
+  /// Merged operational snapshot of every class, ordered by class id.
+  std::vector<ClassSummary> class_summaries() const;
+
+  /// What classless delta-encoding would store instead: one base-file per
+  /// distinct (user, URL) pair seen.
+  std::size_t classless_storage_bytes() const;
+
+  std::size_t num_classes() const;
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Shard index for a partition pair: crc32 over server-part, one NUL
+  /// separator, hint-part — the in-tree slice-by-8, zlib-compatible crc32,
+  /// so the assignment is identical across runs, platforms and standard
+  /// libraries (std::hash<std::string> guarantees none of that). Exposed
+  /// static for tests and capacity tooling.
+  static std::size_t route(std::string_view server_part, std::string_view hint_part,
+                           std::size_t num_shards);
+  /// Owning shard of a class id (ids are striped id_first + k * shards).
+  std::size_t shard_of_class(ClassId id) const;
+
+ private:
+  DeltaServerConfig config_;  // immutable after construction
+  http::RuleBook rules_;      // immutable after construction
+  std::shared_ptr<obs::Obs> obs_;  // immutable after construction
+  ServerInstruments instr_;        // immutable after construction
+  /// Construction order matters: shards_ must outlive nothing above (they
+  /// hold references to config_ and instr_), so it is declared last and
+  /// destroyed first.
+  std::vector<std::unique_ptr<DeltaServerShard>> shards_;
 };
 
 }  // namespace cbde::core

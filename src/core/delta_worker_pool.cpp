@@ -1,15 +1,22 @@
 #include "core/delta_worker_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/contracts.hpp"
 
 namespace cbde::core {
 
+std::size_t DeltaWorkerPool::recommended_workers(const DeltaServer& server) {
+  const std::size_t cores = std::thread::hardware_concurrency();  // may be 0
+  return std::max({server.num_shards(), cores, std::size_t{1}});
+}
+
 DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
                                  std::size_t queue_capacity)
-    : server_(server), capacity_(queue_capacity), worker_count_(workers) {
-  CBDE_EXPECT(workers >= 1);
+    : server_(server),
+      capacity_(queue_capacity),
+      worker_count_(workers == 0 ? recommended_workers(server) : workers) {
   CBDE_EXPECT(queue_capacity >= 1);
   auto& reg = server_.obs().registry();
   instr_.jobs = &reg.counter("cbde_pool_jobs_total", "Requests accepted by the pool");
@@ -20,8 +27,8 @@ DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
   instr_.queue_wait =
       &server_.obs().histogram("cbde_pool_queue_wait_microseconds",
                                "Wall time a job spent queued before a worker took it");
-  threads_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+  threads_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
 }

@@ -34,9 +34,16 @@ namespace cbde::core {
 
 class DeltaWorkerPool {
  public:
-  /// `server` must outlive the pool. `workers` >= 1; `queue_capacity` >= 1.
+  /// `server` must outlive the pool. `queue_capacity` >= 1. `workers` == 0
+  /// picks recommended_workers(server); otherwise the exact count is used.
   DeltaWorkerPool(DeltaServer& server, std::size_t workers,
                   std::size_t queue_capacity = 128);
+
+  /// Worker count that composes encode parallelism with shard parallelism:
+  /// at least one worker per server shard (fewer would leave shards idle by
+  /// construction), and at least the host's core count (so single-shard
+  /// servers still overlap phase-2 encodes the way they always have).
+  static std::size_t recommended_workers(const DeltaServer& server);
 
   /// Joins the workers; pending requests are still served first.
   ~DeltaWorkerPool();

@@ -46,6 +46,30 @@ TEST(ConfigLoader, DiskStoreParsed) {
   EXPECT_EQ(config.disk_store->string(), "/tmp/cbde-bases");
 }
 
+TEST(ConfigLoader, ServerShardsParsed) {
+  const auto config = parse("[delta-server]\nserver-shards = 4\n");
+  EXPECT_EQ(config.server.shards, 4u);
+  EXPECT_EQ(parse("[delta-server]\nmax-tries = 3\n").server.shards, 1u);  // default
+  EXPECT_THROW(parse("[delta-server]\nserver-shards = 0\n"), ConfigError);
+}
+
+TEST(ConfigLoader, ShardedDiskStoreGetsPerShardDirectories) {
+  const auto config = parse(
+      "[delta-server]\n"
+      "server-shards = 2\n"
+      "base-store = disk:/tmp/cbde-shard-test\n");
+  ASSERT_TRUE(static_cast<bool>(config.server.store_factory));
+  // Each shard must own a distinct directory (one DiskBaseStore per dir).
+  const auto s0 = config.server.store_factory(0);
+  const auto s1 = config.server.store_factory(1);
+  const auto* d0 = dynamic_cast<const DiskBaseStore*>(s0.get());
+  const auto* d1 = dynamic_cast<const DiskBaseStore*>(s1.get());
+  ASSERT_NE(d0, nullptr);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_NE(d0->directory(), d1->directory());
+  std::filesystem::remove_all("/tmp/cbde-shard-test");
+}
+
 TEST(ConfigLoader, PartitionRuleActuallyWorks) {
   const auto config = parse(
       "[site www.shop.example]\n"
