@@ -1,0 +1,85 @@
+#include "alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// atomic: counter — per-allocation bump; readers only ever look at deltas
+// across quiesced regions, so relaxed is sufficient.
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_malloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size > 0 ? size : 1);
+}
+
+void* counted_aligned(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // posix_memalign needs alignment to be a multiple of sizeof(void*);
+  // extended-alignment requests are always at least that.
+  std::size_t al = static_cast<std::size_t>(align);
+  if (al < sizeof(void*)) al = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, al, size > 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+namespace cbde::bench {
+
+std::uint64_t alloc_count() { return g_allocs.load(std::memory_order_relaxed); }
+bool alloc_hook_active() { return true; }
+
+}  // namespace cbde::bench
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned(size, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned(size, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }

@@ -1,0 +1,29 @@
+// Counting global operator new hook (bench/alloc_hook.cpp).
+//
+// Link alloc_hook.cpp into a binary and every operator new (scalar, array,
+// nothrow, aligned) bumps one process-wide counter before delegating to
+// malloc. The counter turns the static allocation inventory
+// (tools/analyze/cbde_sema.py --allocs) into a measured
+// allocations-per-request figure: snapshot alloc_count() around a request
+// loop and divide.
+//
+// Deliberately linked ONLY into bench_perf_report and alloc_budget_test —
+// the hook replaces the global allocator, which the regular test binary has
+// no reason to pay for.
+#pragma once
+
+#include <cstdint>
+
+namespace cbde::bench {
+
+/// Number of operator-new calls in this process so far. Monotonic;
+/// meaningful as a delta around a quiesced region of interest.
+std::uint64_t alloc_count();
+
+/// True when the counting hook is linked in (alloc_hook.cpp defines this to
+/// return true; there is no counterfeit default — a binary that does not
+/// link the hook fails to link alloc_count() instead of silently measuring
+/// zero).
+bool alloc_hook_active();
+
+}  // namespace cbde::bench

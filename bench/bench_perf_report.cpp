@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "bench_common.hpp"
 #include "core/delta_server.hpp"
 #include "core/delta_worker_pool.hpp"
@@ -70,6 +71,10 @@ struct EndToEndResult {
   double ns_per_request = 0;
   double doc_mbps = 0;
   double delta_ratio = 0;  ///< wire bytes / document bytes over the run
+  /// operator-new calls per request over the timed region (serve proper plus
+  /// the pool's submit/future machinery) — the measured twin of the static
+  /// hot-path inventory in build/sema_allocs.json.
+  double allocs_per_request = 0;
 };
 
 /// Drive a fresh DeltaServer through a DeltaWorkerPool: one warmup pass
@@ -118,6 +123,7 @@ EndToEndResult run_end_to_end(const trace::SiteModel& site, std::size_t workers,
 
   std::vector<std::future<core::ServedResponse>> futures;
   futures.reserve(requests);
+  const std::uint64_t allocs_before = bench::alloc_count();
   const auto t0 = Clock::now();
   {
     core::DeltaWorkerPool pool(server, workers);
@@ -130,11 +136,14 @@ EndToEndResult run_end_to_end(const trace::SiteModel& site, std::size_t workers,
   std::size_t wire_bytes = 0;
   for (auto& f : futures) wire_bytes += f.get().wire_body.size();
   const double total_ns = elapsed_ns(t0, Clock::now());
+  const std::uint64_t allocs_after = bench::alloc_count();
 
   EndToEndResult result;
   result.ns_per_request = total_ns / static_cast<double>(requests);
   result.doc_mbps = mbps(doc_bytes, total_ns);
   result.delta_ratio = static_cast<double>(wire_bytes) / static_cast<double>(doc_bytes);
+  result.allocs_per_request =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(requests);
   return result;
 }
 
@@ -325,6 +334,7 @@ int main(int argc, char** argv) {
 
   json.open("end_to_end");
   double ns_1 = 0;
+  double allocs_1 = 0, allocs_4 = 0;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     const EndToEndResult r = run_end_to_end(site, workers, e2e_requests, e2e_obs);
     const std::string key = "workers_" + std::to_string(workers);
@@ -332,16 +342,35 @@ int main(int argc, char** argv) {
     json.field("ns_per_request", r.ns_per_request);
     json.field("doc_mbps", r.doc_mbps);
     json.field("wire_ratio", r.delta_ratio);
+    json.field("allocs_per_request", r.allocs_per_request);
     json.close();
-    std::printf("%-28s %12.0f ns/req %8.2f MB/s   wire ratio %.3f\n", key.c_str(),
-                r.ns_per_request, r.doc_mbps, r.delta_ratio);
-    if (workers == 1) ns_1 = r.ns_per_request;
-    if (workers == 4 && ns_1 > 0) {
-      json.field("speedup_4v1", ns_1 / r.ns_per_request);
-      std::printf("%-28s %12.2fx\n", "speedup_4v1", ns_1 / r.ns_per_request);
+    std::printf("%-28s %12.0f ns/req %8.2f MB/s   wire ratio %.3f   %.1f allocs/req\n",
+                key.c_str(), r.ns_per_request, r.doc_mbps, r.delta_ratio,
+                r.allocs_per_request);
+    if (workers == 1) {
+      ns_1 = r.ns_per_request;
+      allocs_1 = r.allocs_per_request;
+    }
+    if (workers == 4) {
+      allocs_4 = r.allocs_per_request;
+      if (ns_1 > 0) {
+        json.field("speedup_4v1", ns_1 / r.ns_per_request);
+        std::printf("%-28s %12.2fx\n", "speedup_4v1", ns_1 / r.ns_per_request);
+      }
     }
   }
   json.close();  // end_to_end
+
+  // Measured allocation budget — the dynamic twin of the static hot-path
+  // inventory (tools/analyze/cbde_sema.py --allocs). ci.sh cross-checks
+  // these figures against build/sema_allocs.json and the checked-in budget
+  // in tools/analyze/alloc_budget.json.
+  json.open("allocs");
+  json.field("hook_active",
+             static_cast<std::size_t>(bench::alloc_hook_active() ? 1 : 0));
+  json.field("per_request_workers_1", allocs_1);
+  json.field("per_request_workers_4", allocs_4);
+  json.close();
 
   if (!metrics_out.empty()) {
     std::ofstream prom(metrics_out);

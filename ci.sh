@@ -27,11 +27,37 @@ fi
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== cbde sema (self-test, then full tree vs baseline) =="
-  # Runs all six passes — taint, lock-order, contracts, and the
-  # shard-readiness trio (escape, atomics, blocking) — against the empty
-  # baseline, and emits the lock-hotspot ranking printed at the end of CI.
+  # Runs all eight passes — taint, lock-order, contracts, the
+  # shard-readiness trio (escape, atomics, blocking), and the allocation
+  # pair (sema-alloc, sema-copy) — against the empty baseline, and emits
+  # the lock-hotspot ranking and allocation inventory read below.
   python3 tools/analyze/cbde_sema.py --self-test
-  python3 tools/analyze/cbde_sema.py --hotspots build/sema_hotspots.json
+  python3 tools/analyze/cbde_sema.py --hotspots build/sema_hotspots.json \
+    --allocs build/sema_allocs.json
+
+  echo "== allocation budget: static inventory vs tools/analyze/alloc_budget.json =="
+  python3 - <<'EOF'
+import json
+with open("build/sema_allocs.json") as f:
+    totals = json.load(f)["totals"]
+with open("tools/analyze/alloc_budget.json") as f:
+    budget = json.load(f)["static"]
+failed = False
+for key in ("hot_sites", "hot_flagged"):
+    have, allowed = totals[key], budget[key]
+    if have > allowed:
+        print(f"ci.sh: sema-alloc {key} grew to {have} (budget {allowed}) — "
+              f"eliminate the new hot-path allocation or ratchet "
+              f"tools/analyze/alloc_budget.json with justification")
+        failed = True
+    elif have < allowed:
+        print(f"notice: sema-alloc {key} is {have}, under the {allowed} budget "
+              f"— ratchet tools/analyze/alloc_budget.json down")
+    else:
+        print(f"sema-alloc {key}: {have} (== budget)")
+if failed:
+    raise SystemExit(1)
+EOF
 else
   echo "== SKIPPED: python3 not installed — cbde sema NOT run ==" >&2
 fi
@@ -61,10 +87,42 @@ BENCH_JSON="build/asan-ubsan/BENCH_delta.json"
 PROM_OUT="build/asan-ubsan/metrics.prom"
 ./build/asan-ubsan/bench/bench_perf_report --smoke --out "$BENCH_JSON" \
   --metrics-out "$PROM_OUT" --metrics-json "build/asan-ubsan/metrics.json"
-for key in encode_cached_cross speedup_4v1 hardware_concurrency overhead_pct; do
+for key in encode_cached_cross speedup_4v1 hardware_concurrency overhead_pct \
+           allocs_per_request; do
   grep -q "\"$key\"" "$BENCH_JSON" ||
     { echo "ci.sh: $BENCH_JSON missing key $key" >&2; exit 1; }
 done
+
+echo "== allocation budget: measured allocs/request vs static inventory =="
+# Cross-check the counting-operator-new measurement against the static
+# sema-alloc inventory and the checked-in measured budget: a hot-path
+# allocation regression shows up on both sides, a counting bug on one.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    allocs = json.load(f)["allocs"]
+with open("tools/analyze/alloc_budget.json") as f:
+    budget = json.load(f)["measured"]
+with open("build/sema_allocs.json") as f:
+    static_hot = json.load(f)["totals"]["hot_sites"]
+if not allocs["hook_active"]:
+    sys.exit("ci.sh: bench_perf_report ran without the counting alloc hook")
+for key in ("per_request_workers_1", "per_request_workers_4"):
+    measured = allocs[key]
+    if measured <= 0:
+        sys.exit(f"ci.sh: {key} is {measured} — the alloc hook counted nothing")
+    if measured > budget["bench_per_request"]:
+        sys.exit(f"ci.sh: {key} = {measured:.1f} allocs/request exceeds the "
+                 f"{budget['bench_per_request']} budget "
+                 f"(static hot inventory: {static_hot} sites) — check "
+                 f"build/sema_allocs.json for the new site")
+    print(f"{key}: {measured:.1f} allocs/request "
+          f"(budget {budget['bench_per_request']}, static hot sites {static_hot})")
+EOF
+else
+  echo "== SKIPPED: python3 not installed — measured allocation gate NOT run ==" >&2
+fi
 
 echo "== bench-capacity smoke (sharded replay, byte parity across shards 1,2) =="
 # The replay binary itself exits nonzero if Table II byte accounting

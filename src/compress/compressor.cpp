@@ -67,8 +67,10 @@ void emit_block(util::Bytes& out, util::BytesView block, bool final,
                 const CompressParams& params) {
   const auto tokens = lz77_tokenize(block, Lz77Params{params.max_chain, params.good_enough});
 
-  std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
-  std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+  // Stack-allocated frequency tables (2.5 KB): the old per-block vectors
+  // were two heap allocations on every 256 KB of every compressed response.
+  std::array<std::uint64_t, kNumLitLen> lit_freq{};
+  std::array<std::uint64_t, kNumDist> dist_freq{};
   lit_freq[kEob] = 1;
   for (const Token& t : tokens) {
     if (t.length == 0) {
@@ -81,7 +83,8 @@ void emit_block(util::Bytes& out, util::BytesView block, bool final,
   const auto lit_lengths = build_code_lengths(lit_freq);
   const auto dist_lengths = build_code_lengths(dist_freq);
 
-  util::Bytes coded;
+  util::Bytes coded;  // alloc: ok(block-sized output buffer, reserved once below)
+  coded.reserve(block.size() / 2 + (kNumLitLen + kNumDist) / 2 + 16);
   {
     BitWriter w(coded);
     write_lengths_nibbles(w, lit_lengths);
@@ -144,6 +147,12 @@ util::Bytes compress(util::BytesView input, const CompressParams& params) {
 }
 
 util::Bytes decompress(util::BytesView input) {
+  util::Bytes out;
+  decompress_into(input, out);
+  return out;
+}
+
+void decompress_into(util::BytesView input, util::Bytes& out) {
   std::size_t pos = 0;
   if (input.size() < 9 || util::as_string_view(input.subspan(0, 4)) != "CBZ1") {
     throw CorruptInput("cbz: bad magic");
@@ -156,7 +165,7 @@ util::Bytes decompress(util::BytesView input) {
   std::uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) crc |= static_cast<std::uint32_t>(input[pos++]) << (8 * i);
 
-  util::Bytes out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(*size));
   bool final = false;
   while (!final) {
@@ -204,7 +213,6 @@ util::Bytes decompress(util::BytesView input) {
   if (out.size() != *size) throw CorruptInput("cbz: size mismatch");
   if (util::crc32(util::as_view(out)) != crc) throw CorruptInput("cbz: checksum mismatch");
   CBDE_ENSURE(out.size() <= kMaxDecompressSize);
-  return out;
 }
 
 std::size_t compressed_size(util::BytesView input, const CompressParams& params) {

@@ -43,6 +43,13 @@ util::Bytes compress(util::BytesView input, const CompressParams& params = {});
 /// framing, entropy-coding or checksum error.
 util::Bytes decompress(util::BytesView input);
 
+/// Zero-copy variant of decompress(): decodes into `out`, reusing the
+/// caller's buffer capacity (per-worker scratch amortizes the decode
+/// allocation across requests). `out` is cleared first; on throw its
+/// contents are unspecified. Same validation contract as decompress();
+/// fuzzed differentially against it.
+void decompress_into(util::BytesView input, util::Bytes& out);
+
 /// Convenience: size of compress(input) without keeping the output.
 std::size_t compressed_size(util::BytesView input, const CompressParams& params = {});
 

@@ -57,16 +57,22 @@ void limit_lengths(std::vector<std::uint8_t>& lengths) {
 
 }  // namespace
 
-std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs) {
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs) {
   std::vector<std::uint8_t> lengths(freqs.size(), 0);
 
   std::vector<Node> pool;
   pool.reserve(freqs.size() * 2);
   using Entry = std::pair<std::uint64_t, int>;  // (freq, pool index)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  // The heap never outgrows its seeded storage: n leaves go in, and every
+  // merge pops two entries before pushing one.
+  std::vector<Entry> heap_storage;
+  heap_storage.reserve(freqs.size());
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap(
+      std::greater<>{}, std::move(heap_storage));
   for (std::size_t s = 0; s < freqs.size(); ++s) {
     if (freqs[s] == 0) continue;
     pool.push_back({freqs[s], -1, -1, static_cast<int>(s)});
+    // alloc: ok(pushes into the storage reserved above; bounded by the alphabet size)
     heap.emplace(freqs[s], static_cast<int>(pool.size() - 1));
   }
   if (heap.empty()) return lengths;
@@ -80,6 +86,7 @@ std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& f
     const auto [fb, b] = heap.top();
     heap.pop();
     pool.push_back({fa + fb, a, b, -1});
+    // alloc: ok(two pops precede this push, so the reserved storage never grows)
     heap.emplace(fa + fb, static_cast<int>(pool.size() - 1));
   }
   assign_depths(pool, heap.top().second, 0, lengths);

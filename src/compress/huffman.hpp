@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "compress/bitio.hpp"
@@ -17,8 +18,10 @@ inline constexpr int kMaxCodeLen = 15;
 
 /// Build canonical code lengths for `freqs`. Symbols with zero frequency get
 /// length 0 (absent). If fewer than two symbols occur, the occurring symbol
-/// gets length 1 so the code is still decodable.
-std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs);
+/// gets length 1 so the code is still decodable. Span-typed so callers can
+/// count frequencies in a stack array instead of allocating a vector per
+/// block (the per-request compress path does exactly that).
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs);
 
 /// Canonical Huffman encoder: maps symbol -> (code, length).
 class HuffmanEncoder {

@@ -31,6 +31,11 @@ Anonymizer::Anonymizer(AnonymizerConfig config) : config_(config) {
 }
 
 void Anonymizer::begin(util::Bytes base, std::uint64_t owner_user) {
+  begin(std::make_shared<const util::Bytes>(std::move(base)), owner_user);
+}
+
+void Anonymizer::begin(std::shared_ptr<const util::Bytes> base,
+                       std::uint64_t owner_user) {
   encoder_ = std::make_unique<delta::Encoder>(std::move(base), config_.delta_params);
   owner_ = owner_user;
   counters_.assign(

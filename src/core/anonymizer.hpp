@@ -45,6 +45,11 @@ class Anonymizer {
   /// documents must not vouch for the base's chunks).
   void begin(util::Bytes base, std::uint64_t owner_user);
 
+  /// Shared-base overload: aliases the caller's buffer (a refcount bump)
+  /// instead of copying it, so starting a publication round from the
+  /// working encoder's base costs no document copy.
+  void begin(std::shared_ptr<const util::Bytes> base, std::uint64_t owner_user);
+
   /// True between begin() and finalize().
   bool in_progress() const { return in_progress_; }
 

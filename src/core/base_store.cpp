@@ -18,10 +18,13 @@ void MemoryBaseStore::put(std::uint64_t class_id, std::uint32_t version,
   // Version 0 means "never published" throughout the pipeline; storing under
   // it would make the base unreachable via fetch_base().
   CBDE_EXPECT(version > 0);
+  // Materialize the copy before taking mu_: the O(size) byte copy happens
+  // unlocked and only the map splice runs inside the critical section.
+  util::Bytes copy(base.begin(), base.end());
   const LockGuard lock(mu_);
   erase_locked(class_id, version);
   bytes_ += base.size();
-  store_.emplace(std::make_pair(class_id, version), util::Bytes(base.begin(), base.end()));
+  store_.emplace(std::make_pair(class_id, version), std::move(copy));
   CBDE_ASSERT_INVARIANT(store_.contains({class_id, version}));
 }
 

@@ -24,25 +24,28 @@ void BaseFileSelector::observe(util::BytesView doc) {
 void BaseFileSelector::admit(util::BytesView doc) {
   ++stats_.sampled;
   if (instr_.sampled != nullptr) instr_.sampled->inc();
+  // One copy of the sampled document, shared by the reference set and the
+  // candidate encoder — the kTwoSet policy used to materialize it twice.
+  auto snapshot = std::make_shared<const util::Bytes>(doc.begin(), doc.end());
   if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
-    insert_reference(doc);
+    insert_reference(snapshot);
   }
-  insert_candidate(doc);
+  insert_candidate(std::move(snapshot));
 }
 
-void BaseFileSelector::insert_candidate(util::BytesView doc) {
+void BaseFileSelector::insert_candidate(std::shared_ptr<const util::Bytes> doc) {
   if (candidates_.size() >= config_.max_samples) evict_candidate();
 
   const std::size_t idx = candidates_.size();
-  candidates_.push_back(std::make_unique<delta::Encoder>(
-      util::Bytes(doc.begin(), doc.end()), config_.score_params));
+  candidates_.push_back(
+      std::make_unique<delta::Encoder>(std::move(doc), config_.score_params));
   const delta::Encoder& fresh = *candidates_[idx];
 
   if (config_.eviction == SelectorConfig::Eviction::kTwoSet) {
     // Column set is the reference set; score the new candidate against it.
     std::vector<double> row(references_.size(), 0.0);
     for (std::size_t j = 0; j < references_.size(); ++j) {
-      row[j] = static_cast<double>(fresh.encode_size(util::as_view(references_[j])));
+      row[j] = static_cast<double>(fresh.encode_size(util::as_view(*references_[j])));
     }
     score_matrix_.push_back(std::move(row));
     return;
@@ -58,7 +61,7 @@ void BaseFileSelector::insert_candidate(util::BytesView doc) {
   score_matrix_.push_back(std::move(row));
 }
 
-void BaseFileSelector::insert_reference(util::BytesView doc) {
+void BaseFileSelector::insert_reference(std::shared_ptr<const util::Bytes> doc) {
   if (references_.size() >= config_.max_samples) {
     // "a random sample is evicted from the other set"
     const std::size_t victim = static_cast<std::size_t>(rng_.next_below(references_.size()));
@@ -67,10 +70,10 @@ void BaseFileSelector::insert_reference(util::BytesView doc) {
       row.erase(row.begin() + static_cast<std::ptrdiff_t>(victim));
     }
   }
-  references_.emplace_back(doc.begin(), doc.end());
+  references_.push_back(std::move(doc));
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
     score_matrix_[i].push_back(
-        static_cast<double>(candidates_[i]->encode_size(util::as_view(references_.back()))));
+        static_cast<double>(candidates_[i]->encode_size(util::as_view(*references_.back()))));
   }
 }
 
@@ -151,7 +154,18 @@ double BaseFileSelector::best_score() const {
 std::size_t BaseFileSelector::stored_bytes() const {
   std::size_t total = 0;
   for (const auto& candidate : candidates_) total += candidate->base().size();
-  for (const auto& doc : references_) total += doc.size();
+  for (const auto& doc : references_) {
+    // A reference still sharing its buffer with a candidate encoder is one
+    // allocation, not two; count each distinct buffer once.
+    bool shared_with_candidate = false;
+    for (const auto& candidate : candidates_) {
+      if (candidate->shared_base().get() == doc.get()) {
+        shared_with_candidate = true;
+        break;
+      }
+    }
+    if (!shared_with_candidate) total += doc->size();
+  }
   return total;
 }
 
@@ -211,7 +225,11 @@ std::size_t offline_optimal_index(const std::vector<util::Bytes>& docs,
   double best_score = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < docs.size(); ++i) {
     // One index build per base, then size-only scans against every target.
-    const delta::Encoder encoder(docs[i], score_params);
+    // Non-owning alias of the caller's buffer (the encoder dies inside this
+    // scope) — passing docs[i] by value copied every document once.
+    const delta::Encoder encoder(
+        std::shared_ptr<const util::Bytes>(std::shared_ptr<void>(), &docs[i]),
+        score_params);
     double total = 0.0;
     for (std::size_t j = 0; j < docs.size(); ++j) {
       if (i == j) continue;

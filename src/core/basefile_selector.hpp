@@ -88,8 +88,8 @@ class BaseFileSelector {
   void set_instruments(const SelectorInstruments& instr) { instr_ = instr; }
 
  private:
-  void insert_candidate(util::BytesView doc);
-  void insert_reference(util::BytesView doc);  // kTwoSet only
+  void insert_candidate(std::shared_ptr<const util::Bytes> doc);
+  void insert_reference(std::shared_ptr<const util::Bytes> doc);  // kTwoSet only
   void evict_candidate();
   void remove_candidate(std::size_t idx);
   double score(std::size_t idx) const;
@@ -107,7 +107,12 @@ class BaseFileSelector {
   /// (candidates_ or references_)[j] as target, j != i for the one-set
   /// policies.
   std::vector<std::vector<double>> score_matrix_;
-  std::vector<util::Bytes> references_;  // kTwoSet only
+  /// kTwoSet only. A document admitted while both sets have room lands in
+  /// the reference set AND the candidate encoder as one shared buffer (the
+  /// old per-set copies doubled the sampling footprint); the sets still
+  /// evict independently — the shared_ptr keeps whichever side survives
+  /// alive. stored_bytes() counts each distinct buffer once.
+  std::vector<std::shared_ptr<const util::Bytes>> references_;
   SelectorStats stats_;
   SelectorInstruments instr_;
 };

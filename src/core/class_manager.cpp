@@ -25,7 +25,7 @@ ClassManager::Decision ClassManager::group(
   if (const auto it = manual_.find({parts.server_part, parts.hint_part});
       it != manual_.end()) {
     ++stats_.manual_hits;
-    ++members_[it->second];
+    bump_members(it->second);
     stats_.tries.add(0);
     return Decision{it->second, false, 0};
   }
@@ -40,7 +40,7 @@ ClassManager::Decision ClassManager::group(
     if (static_cast<double>(estimate) <=
         config_.match_threshold * static_cast<double>(doc.size())) {
       decision.id = id;
-      ++members_[id];
+      bump_members(id);
       stats_.tries.add(decision.tries);
       return decision;
     }
@@ -48,9 +48,15 @@ ClassManager::Decision ClassManager::group(
 
   decision.id = create_class(parts);
   decision.created = true;
-  ++members_[decision.id];
+  bump_members(decision.id);
   stats_.tries.add(decision.tries);
   return decision;
+}
+
+void ClassManager::bump_members(ClassId id) {
+  const auto it = members_.find(id);
+  CBDE_ASSERT(it != members_.end());  // registered when the class was created
+  ++it->second;
 }
 
 ClassId ClassManager::add_manual_class(const std::string& server_part,
@@ -109,28 +115,29 @@ std::vector<ClassId> ClassManager::candidates(const std::string& server_part,
   // "If some classes have members whose hint-parts are the same with the
   // request's hint-part, the mechanism only considers those."
   std::vector<ClassId> eligible;
+  eligible.reserve(classes.size());
   for (const ClassInfo& info : classes) {
     if (info.hint_part == hint_part) eligible.push_back(info.id);
   }
   if (eligible.empty()) {
-    eligible.reserve(classes.size());
     for (const ClassInfo& info : classes) eligible.push_back(info.id);
   }
 
-  // Popular classes first for the first a*N tries.
+  // Popular classes first for the first a*N tries. members_of (a lookup)
+  // rather than members_[] so comparing an unseen id cannot insert a node.
   std::stable_sort(eligible.begin(), eligible.end(), [this](ClassId a, ClassId b) {
-    return members_[a] > members_[b];
+    return members_of(a) > members_of(b);
   });
   const std::size_t n_popular = std::min(
       eligible.size(),
       static_cast<std::size_t>(config_.popular_fraction *
                                static_cast<double>(config_.max_tries)));
 
-  std::vector<ClassId> order(eligible.begin(),
-                             eligible.begin() + static_cast<std::ptrdiff_t>(n_popular));
   // "... and the last (1-a)*N consist of random selections among the rest."
-  std::vector<ClassId> rest(eligible.begin() + static_cast<std::ptrdiff_t>(n_popular),
-                            eligible.end());
+  // The popular prefix stays put and the rest is shuffled in place: the
+  // subrange shuffle draws exactly what shuffling a separate `rest` copy
+  // drew, so the order is unchanged but the two range copies per request
+  // are gone.
   // Seed the shuffle per (server-part, hint-part, request ordinal) instead of
   // drawing from one manager-wide stream: the draw a request sees then does
   // not depend on which other pairs' requests ran through this manager
@@ -138,13 +145,12 @@ std::vector<ClassId> ClassManager::candidates(const std::string& server_part,
   // unsharded one (shard routing is by (server-part, hint-part)).
   util::Rng shuffle_rng(pair_seed(
       server_part, hint_part,
+      // alloc: ok(one ordinal node per (server-part, hint-part) pair, amortized across its requests)
       0x5A5A5A5A00000000ull ^ shuffle_ordinals_[{server_part, hint_part}]++));
-  shuffle_rng.shuffle(rest);
-  for (const ClassId id : rest) {
-    if (order.size() >= config_.max_tries) break;
-    order.push_back(id);
-  }
-  return order;
+  shuffle_rng.shuffle(eligible.begin() + static_cast<std::ptrdiff_t>(n_popular),
+                      eligible.end());
+  if (eligible.size() > config_.max_tries) eligible.resize(config_.max_tries);
+  return eligible;
 }
 
 }  // namespace cbde::core

@@ -105,6 +105,9 @@ class ClassManager {
   };
 
   ClassId create_class(const http::UrlParts& parts);
+  /// Increment the member count of a class that is known to exist (every
+  /// class is registered in members_ on creation, so no insert happens).
+  void bump_members(ClassId id);
   /// Eligible candidates in probe order (popular first, then random fill).
   std::vector<ClassId> candidates(const std::string& server_part,
                                   const std::string& hint_part);

@@ -219,9 +219,10 @@ DeltaServerShard::ClassState& DeltaServerShard::state_of(ClassId id) {
     // The seed comes from the class's identity (ClassManager::class_seed),
     // not from a shard-local RNG stream, so the selector draws the same
     // sampling decisions for the same class at any shard count.
-    it = states_
-             .emplace(id, std::make_unique<ClassState>(config_, classes_.class_seed(id)))
-             .first;
+    // alloc: ok(ClassState is built once per class creation, never per request)
+    auto created = std::make_unique<ClassState>(config_, classes_.class_seed(id));
+    // alloc: ok(one state node per class, amortized across the class's requests)
+    it = states_.emplace(id, std::move(created)).first;
     it->second->selector.set_instruments(instr_.selector);
     it->second->anonymizer.set_instruments(instr_.anonymizer);
   }
@@ -238,16 +239,19 @@ std::shared_ptr<const delta::Encoder> DeltaServerShard::make_working_encoder(
 void DeltaServerShard::start_publication(ClassId id, ClassState& cls,
                                          util::SimTime now) {
   if (!config_.anonymize) {
-    // No privacy requirement: publish the working base immediately.
+    // No privacy requirement: publish the working base immediately. The
+    // transmit encoder aliases the working encoder's base (shared_base is a
+    // refcount bump) — only the full-param index is built, the document is
+    // not copied.
     // sema: ok(transmit index built only on publication (class create/rebase), not per request)
     cls.transmit_encoder = std::make_shared<const delta::Encoder>(
-        cls.working_encoder->base(), config_.transmit_params);
+        cls.working_encoder->shared_base(), config_.transmit_params);
     ++cls.published_version;
     record_publication(id, cls, now);
     cls.last_group_rebase = now;
     return;
   }
-  cls.anonymizer.begin(cls.working_encoder->base(), cls.working_owner);
+  cls.anonymizer.begin(cls.working_encoder->shared_base(), cls.working_owner);
 }
 
 void DeltaServerShard::maybe_complete_publication(ClassId id, ClassState& cls,
@@ -306,10 +310,20 @@ ServedResponse DeltaServerShard::serve(std::uint64_t user_id,
     ledger_.direct_bytes += doc.size();
 
     // Classless-storage bookkeeping: basic delta-encoding would store one
-    // base-file per (user, URL).
+    // base-file per (user, URL). The key chains fnv1a64 over the URL fields
+    // (FNV is byte-sequential, so chaining equals hashing the concatenation)
+    // — the old url.to_string() materialized a heap string under mu_ on
+    // every request just to hash it.
     {
-      const std::uint64_t key =
-          util::fnv1a64(url.to_string(), user_id ^ 0xABCDEF12345ull);
+      constexpr std::string_view kFieldSep{"\0", 1};
+      std::uint64_t key = util::fnv1a64(url.scheme, user_id ^ 0xABCDEF12345ull);
+      key = util::fnv1a64(kFieldSep, key);
+      key = util::fnv1a64(url.host, key);
+      key = util::fnv1a64(kFieldSep, key);
+      key = util::fnv1a64(url.path, key);
+      key = util::fnv1a64(kFieldSep, key);
+      key = util::fnv1a64(url.query, key);
+      // alloc: ok(one ledger node per distinct classless URL; repeat requests hit the existing node)
       auto [it, inserted] = classless_docs_.try_emplace(key, doc.size());
       const std::size_t previous = inserted ? 0 : it->second;
       classless_storage_bytes_ += doc.size();
@@ -404,28 +418,36 @@ ServedResponse DeltaServerShard::serve(std::uint64_t user_id,
     out.cpu_us += config_.cpu.fixed_us;
   }
 
+  // Materialize the response body before retaking the lock: the direct path
+  // copies the full document, and that memcpy used to run inside the phase-3
+  // critical section (sema-copy: heavy copy under mu_).
+  if (serve_delta) {
+    out.mode = ServedResponse::Mode::kDelta;
+    out.wire_body = std::move(delta_wire);
+    out.wire_compressed = config_.compress_deltas;
+  } else {
+    out.mode = ServedResponse::Mode::kDirect;
+    out.wire_body.assign(doc.begin(), doc.end());
+  }
+
   // Phase 3 — locked: commit the response, then the rebase decisions.
   {
     obs::Span commit_span(tc, "commit");
     const LockGuard lock(mu_);
     ClassState& cls = *cls_ptr;
     if (serve_delta) {
-      out.mode = ServedResponse::Mode::kDelta;
       out.base_version = snap_version;
       const auto key = std::make_pair(user_id, out.class_id);
       const auto it = client_versions_.find(key);
       if (it == client_versions_.end() || it->second != snap_version) {
         out.base_needed = true;
         out.base_size = transmit->base().size();
+        // alloc: ok(per-(user, class) version ledger: a node inserts only on a base handoff)
         client_versions_[key] = snap_version;
       }
-      out.wire_body = std::move(delta_wire);
-      out.wire_compressed = config_.compress_deltas;
       instr_.delta_responses->inc();
       ++ledger_.delta_responses;
     } else {
-      out.mode = ServedResponse::Mode::kDirect;
-      out.wire_body.assign(doc.begin(), doc.end());
       instr_.direct_responses->inc();
       ++ledger_.direct_responses;
     }
@@ -505,13 +527,21 @@ std::optional<PublishedBase> DeltaServerShard::published_base(ClassId id) const 
 
 std::optional<util::Bytes> DeltaServerShard::fetch_base(ClassId id,
                                                         std::uint32_t version) const {
-  const LockGuard lock(mu_);
-  // Hot path: the current version is cached in memory.
-  const auto it = states_.find(id);
-  if (it != states_.end() && it->second->published_version == version &&
-      version != 0) {
-    return it->second->transmit_encoder->base();
+  // Hot path: the current version is cached in memory. Snapshot the shared
+  // base handle under the lock (a refcount bump); the caller's owning copy
+  // is materialized — and the store fallback runs (BaseStore is internally
+  // synchronized) — after mu_ drops. The full-buffer copy used to happen
+  // inside the critical section.
+  std::shared_ptr<const util::Bytes> cached;
+  {
+    const LockGuard lock(mu_);
+    const auto it = states_.find(id);
+    if (it != states_.end() && it->second->published_version == version &&
+        version != 0) {
+      cached = it->second->transmit_encoder->shared_base();
+    }
   }
+  if (cached != nullptr) return *cached;
   return store_->get(id, version);
 }
 

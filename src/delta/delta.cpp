@@ -128,6 +128,7 @@ SelfScratch& self_scratch() {
 }
 
 void put_u32le(util::Bytes& out, std::uint32_t v) {
+  // alloc: ok(4 bounded pushes into an output buffer the encoder reserves up front)
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
@@ -344,6 +345,11 @@ EncodeResult encode_with(const BaseIndex& index, util::BytesView base,
   result.chunk_used.assign((base.size() + kAnonChunkSize - 1) / kAnonChunkSize, false);
 
   util::Bytes& out = result.delta;
+  // One up-front reservation instead of log2(delta) growth reallocations on
+  // the per-request encode path. Template-heavy targets produce deltas far
+  // below target/8; unrelated targets degenerate toward ADD-everything and
+  // amortize the remaining doublings from a useful floor.
+  out.reserve(64 + target.size() / 8);
   util::append(out, std::string_view("CBD1"));
   util::put_uvarint(out, base.size());
   util::put_uvarint(out, target.size());
@@ -390,20 +396,26 @@ std::optional<std::string> validate(const DeltaParams& params) {
 }
 
 struct Encoder::Impl {
-  util::Bytes base_bytes;
+  // Shared, immutable base: encoders built from the same publication round
+  // alias one buffer (refcount bump) instead of each owning a copy.
+  std::shared_ptr<const util::Bytes> base_bytes;
   DeltaParams params;
   std::uint32_t crc;
   BaseIndex index;
 
-  Impl(util::Bytes base, const DeltaParams& p)
+  Impl(std::shared_ptr<const util::Bytes> base, const DeltaParams& p)
       : base_bytes(std::move(base)),
         params(p),
-        crc(util::crc32(util::as_view(base_bytes))),
-        index(util::as_view(base_bytes), p.key_len, p.index_step) {}
+        crc(util::crc32(util::as_view(*base_bytes))),
+        index(util::as_view(*base_bytes), p.key_len, p.index_step) {}
 };
 
-Encoder::Encoder(util::Bytes base, DeltaParams params) {
+Encoder::Encoder(util::Bytes base, DeltaParams params)
+    : Encoder(std::make_shared<const util::Bytes>(std::move(base)), params) {}
+
+Encoder::Encoder(std::shared_ptr<const util::Bytes> base, DeltaParams params) {
   check_params(params);
+  CBDE_EXPECT(base != nullptr);
   impl_ = std::make_unique<Impl>(std::move(base), params);
 }
 
@@ -411,19 +423,22 @@ Encoder::~Encoder() = default;
 Encoder::Encoder(Encoder&&) noexcept = default;
 Encoder& Encoder::operator=(Encoder&&) noexcept = default;
 
-const util::Bytes& Encoder::base() const { return impl_->base_bytes; }
+const util::Bytes& Encoder::base() const { return *impl_->base_bytes; }
+const std::shared_ptr<const util::Bytes>& Encoder::shared_base() const {
+  return impl_->base_bytes;
+}
 const DeltaParams& Encoder::params() const { return impl_->params; }
 std::uint32_t Encoder::base_crc() const { return impl_->crc; }
 
 EncodeResult Encoder::encode(util::BytesView target) const {
-  EncodeResult result = encode_with(impl_->index, util::as_view(impl_->base_bytes),
+  EncodeResult result = encode_with(impl_->index, util::as_view(*impl_->base_bytes),
                                     impl_->crc, target, impl_->params);
   CBDE_ENSURE(result.copy_bytes + result.add_bytes == target.size());
   return result;
 }
 
 std::size_t Encoder::encode_size(util::BytesView target) const {
-  return encode_size_with(impl_->index, util::as_view(impl_->base_bytes), target,
+  return encode_size_with(impl_->index, util::as_view(*impl_->base_bytes), target,
                           impl_->params);
 }
 
@@ -471,6 +486,12 @@ DeltaInfo inspect(util::BytesView delta) {
 }
 
 util::Bytes apply(util::BytesView base, util::BytesView delta) {
+  util::Bytes out;
+  apply_into(base, delta, out);
+  return out;
+}
+
+void apply_into(util::BytesView base, util::BytesView delta, util::Bytes& out) {
   // The base comes from the trusted side (our own store); only the delta is
   // untrusted. A base above the decode cap can never match a valid header.
   CBDE_EXPECT(base.size() <= kMaxDecodeTargetSize);
@@ -479,7 +500,7 @@ util::Bytes apply(util::BytesView base, util::BytesView delta) {
   if (info.base_size != base.size() || info.base_crc != util::crc32(base)) {
     throw CorruptDelta("delta: base-file mismatch");
   }
-  util::Bytes out;
+  out.clear();
   out.reserve(info.target_size);
   while (pos < delta.size()) {
     const auto tag = util::get_uvarint(delta, pos);
@@ -523,7 +544,6 @@ util::Bytes apply(util::BytesView base, util::BytesView delta) {
     throw CorruptDelta("delta: target checksum mismatch");
   }
   CBDE_ENSURE(out.size() == info.target_size);
-  return out;
 }
 
 }  // namespace cbde::delta

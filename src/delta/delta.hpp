@@ -112,6 +112,13 @@ struct EncodeResult {
 class Encoder {
  public:
   explicit Encoder(util::Bytes base, DeltaParams params = DeltaParams::full());
+  /// Shared-base construction: the encoder aliases `base` instead of copying
+  /// it, so several encoders (and readers holding snapshots) can reference
+  /// one buffer. This is how a publication round builds its transmit encoder
+  /// from the working encoder's base without duplicating the document
+  /// (sema-alloc ranked those copies top of the per-rebase class).
+  explicit Encoder(std::shared_ptr<const util::Bytes> base,
+                   DeltaParams params = DeltaParams::full());
   ~Encoder();
   Encoder(Encoder&&) noexcept;
   Encoder& operator=(Encoder&&) noexcept;
@@ -119,6 +126,9 @@ class Encoder {
   Encoder& operator=(const Encoder&) = delete;
 
   const util::Bytes& base() const;
+  /// The owning handle for the base bytes. Never null; copying it is a
+  /// refcount bump, not a buffer copy.
+  const std::shared_ptr<const util::Bytes>& shared_base() const;
   const DeltaParams& params() const;
   /// crc32 of the base, computed once at construction.
   std::uint32_t base_crc() const;
@@ -151,6 +161,13 @@ std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
 /// base-file the delta was computed against (crc) and that the output
 /// matches the recorded target checksum. Throws CorruptDelta otherwise.
 util::Bytes apply(util::BytesView base, util::BytesView delta);
+
+/// Zero-copy variant of apply(): decodes into `out`, reusing whatever
+/// capacity the caller's buffer already has (a per-worker scratch buffer
+/// amortizes the decode allocation across requests). `out` is cleared
+/// first; on throw its contents are unspecified. Same validation contract
+/// as apply(); fuzzed differentially against it.
+void apply_into(util::BytesView base, util::BytesView delta, util::Bytes& out);
 
 /// Parsed header of a delta, for inspection without applying it.
 struct DeltaInfo {

@@ -166,6 +166,7 @@ std::size_t run_length(util::BytesView target, std::size_t pos) {
 }
 
 void put_u32le(util::Bytes& out, std::uint32_t v) {
+  // alloc: ok(4 bounded pushes into the caller's output buffer)
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
@@ -252,6 +253,11 @@ util::Bytes vcdiff_encode(util::BytesView base, util::BytesView target,
   util::Bytes data;
   util::Bytes inst;
   util::Bytes addr;
+  // Worst case data holds every target byte and inst a few bytes per
+  // instruction; seed both with a fraction of that so the emit loops below
+  // grow geometrically from a useful capacity instead of from empty.
+  data.reserve(target.size() / 8 + 16);
+  inst.reserve(target.size() / 16 + 16);
 
   std::size_t lit_start = 0;
   auto flush_literals = [&](std::size_t end) {

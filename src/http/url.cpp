@@ -1,5 +1,7 @@
 #include "http/url.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace cbde::http {
@@ -14,7 +16,11 @@ std::string Url::to_string() const {
 }
 
 std::string Url::request_target() const {
-  std::string out = path;
+  // One allocation for the full target instead of copying `path` and then
+  // growing again for the query.
+  std::string out;
+  out.reserve(path.size() + (query.empty() ? 0 : query.size() + 1));
+  out += path;
   if (!query.empty()) {
     out += '?';
     out += query;
@@ -54,6 +60,10 @@ Url parse_url(std::string_view raw) {
 
 std::vector<std::string_view> path_segments(std::string_view path) {
   std::vector<std::string_view> out;
+  // Each segment follows a '/', so the separator count bounds the segment
+  // count; reserving it makes the loop below allocation-free.
+  out.reserve(static_cast<std::size_t>(
+      std::count(path.begin(), path.end(), '/') + 1));
   std::size_t start = 0;
   while (start < path.size()) {
     if (path[start] == '/') {
@@ -99,6 +109,9 @@ std::string percent_decode(std::string_view raw) {
 
 std::vector<std::string_view> query_items(std::string_view query) {
   std::vector<std::string_view> out;
+  // '&' separators bound the item count; reserve so the loop never grows.
+  out.reserve(static_cast<std::size_t>(
+      std::count(query.begin(), query.end(), '&') + 1));
   std::size_t start = 0;
   while (start <= query.size()) {
     std::size_t end = query.find('&', start);

@@ -42,6 +42,7 @@ void EventLog::emit(Event event) {
 
 std::vector<Event> EventLog::recent() const {
   const LockGuard lock(mu_);
+  // alloc: ok(admin snapshot API: the ring must be copied while mu_ is held, bounded by capacity_)
   return std::vector<Event>(ring_.begin(), ring_.end());
 }
 

@@ -76,14 +76,23 @@ class Rng {
   /// Exponentially distributed value with the given mean (> 0).
   double exponential(double mean);
 
+  /// Fisher–Yates shuffle of [first, last). The draw sequence depends only
+  /// on the range length, so shuffling a subrange in place is
+  /// draw-for-draw identical to copying it out, shuffling the copy, and
+  /// writing it back.
+  template <typename It>
+  void shuffle(It first, It last) {
+    for (auto i = static_cast<std::size_t>(last - first); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {
-    for (std::size_t i = v.size(); i > 1; --i) {
-      std::size_t j = static_cast<std::size_t>(next_below(i));
-      using std::swap;
-      swap(v[i - 1], v[j]);
-    }
+    shuffle(v.begin(), v.end());
   }
 
   /// Derive an independent child generator (for per-component streams).

@@ -173,6 +173,9 @@ bool fuzz_cbd1(std::uint64_t seed, std::size_t iters) {
   const DeltaCorpus c = make_cbd1_corpus(seed);
   const Bytes wrong_base = to_bytes(page(99, 9));
   std::size_t calls = 0;
+  // Reused across iterations: delta::apply_into must fully overwrite any
+  // stale contents from the previous (possibly longer) decode.
+  Bytes reused;
   return run_target("cbd1", seed, iters, c.deltas, [&](BytesView input) {
     const BytesView base =
         (++calls % 13 == 0) ? as_view(wrong_base) : as_view(c.base);
@@ -183,6 +186,12 @@ bool fuzz_cbd1(std::uint64_t seed, std::size_t iters) {
       // must honor the header's size claim.
       if (out.size() != delta::inspect(input).target_size) {
         throw std::logic_error("cbd1: decoded size contradicts header");
+      }
+      // Differential: the zero-copy entry point must agree byte-for-byte
+      // with the allocating one on every accepted input.
+      delta::apply_into(base, input, reused);
+      if (reused != out) {
+        throw std::logic_error("cbd1: apply_into diverges from apply");
       }
       return true;
     } catch (const delta::CorruptDelta&) {
@@ -212,10 +221,18 @@ bool fuzz_vcdiff(std::uint64_t seed, std::size_t iters) {
 }
 
 bool fuzz_compress(std::uint64_t seed, std::size_t iters) {
+  // Reused buffer: compress::decompress_into must behave identically no
+  // matter what the previous iteration left in it.
+  Bytes reused;
   return run_target("compress", seed, iters, make_compress_corpus(seed),
                     [&](BytesView input) {
                       try {
-                        (void)compress::decompress(input);
+                        const Bytes out = compress::decompress(input);
+                        compress::decompress_into(input, reused);
+                        if (reused != out) {
+                          throw std::logic_error(
+                              "compress: decompress_into diverges from decompress");
+                        }
                         return true;
                       } catch (const compress::CorruptInput&) {
                         return false;

@@ -131,6 +131,22 @@ TEST(Selector, FlushDropsEverything) {
   EXPECT_EQ(sel.stored_bytes(), 0u);
 }
 
+// Regression: kTwoSet used to materialize each admitted document twice —
+// once into the reference set and once into the candidate encoder. Both
+// sides now share one immutable buffer, so admitting a doc while both sets
+// have room must cost its size once, not twice.
+TEST(Selector, TwoSetAdmissionSharesOneBuffer) {
+  SelectorConfig config;
+  config.sample_prob = 1.0;
+  config.max_samples = 8;
+  config.eviction = SelectorConfig::Eviction::kTwoSet;
+  BaseFileSelector sel(config, 8);
+  const Bytes doc = to_bytes(trace::synth_prose(77, 4096));
+  sel.admit(as_view(doc));
+  EXPECT_EQ(sel.stored(), 1u);
+  EXPECT_EQ(sel.stored_bytes(), doc.size());
+}
+
 class SelectorEvictionPolicies
     : public ::testing::TestWithParam<SelectorConfig::Eviction> {};
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """cbde_sema.py — semantic analysis for the CBDE tree.
 
-Six passes over the C++ sources, each reporting findings with a stable
+Eight passes over the C++ sources, each reporting findings with a stable
 check id:
 
   sema-taint       untrusted bytes (decoder/parser inputs) flowing into an
@@ -26,6 +26,22 @@ check id:
                    allocation while holding an annotated mutex; blocking
                    facts propagate through call resolution, and `--hotspots`
                    ranks every LockGuard section by static weight.
+  sema-alloc       allocation-site inventory: every vector/string/Bytes
+                   construction, growth call, make_shared/make_unique,
+                   explicit new, and map/set node insert is enumerated, the
+                   call graph is resolved to a fixpoint from the serve hot
+                   roots (DeltaServerShard::serve, the worker pool, the
+                   proxy caches), and each function is classified hot /
+                   rebase / setup. Scaling allocations (range copies,
+                   unreserved growth in loops, node inserts, make_shared)
+                   in hot functions are findings; `--allocs` writes the
+                   ranked per-function inventory as JSON.
+  sema-copy        copy discipline: heavy objects (Bytes/string/vector/
+                   shared_ptr) passed by value and never moved, locals that
+                   copy where a view or reference would do, last-use copies
+                   that miss a std::move, and heavy buffer copies inside an
+                   annotated critical section (snapshot a shared_ptr
+                   instead).
 
 Frontend: when libclang is importable (`clang.cindex`), functions and class
 members are extracted from the real AST. When it is not — the common case in
@@ -42,11 +58,15 @@ Workflow mirrors tools/lint/cbde_lint.py:
   tools/analyze/cbde_sema.py --graph          # dump the lock-order graph
   tools/analyze/cbde_sema.py --graph-dot out.dot   # lock/confinement DOT
   tools/analyze/cbde_sema.py --hotspots build/sema_hotspots.json
+  tools/analyze/cbde_sema.py --allocs build/sema_allocs.json
 
 Known-and-reviewed findings live in tools/analyze/sema_baseline.txt; CI
 fails only when a finding NOT in the baseline appears. Suppress a reviewed
 line in source with `// sema: ok(<reason>)` on the line or the line above —
-an empty reason is itself a finding.
+an empty reason is itself a finding. The sema-alloc/sema-copy passes use
+their own `// alloc: ok(<reason>)` form (same placement rules), so an
+accepted allocation never silences a taint or locking finding on the same
+line.
 
 Exit codes: 0 clean, 1 findings/self-test failure, 2 usage error.
 """
@@ -1484,7 +1504,467 @@ def blocking_pass(units, classes, suppressed_by_path, hotspots_out=None):
     return findings
 
 
-def suppression_pass(suppressed_by_path):
+# --------------------------------------------------------------------------
+# Passes 7 & 8: allocation & copy dataflow (sema-alloc / sema-copy)
+#
+# sema-alloc enumerates every allocation site, resolves the call graph to a
+# fixpoint from the serve hot roots, and classifies each function:
+#   hot     reachable from DeltaServerShard::serve / the worker pool / the
+#           proxy caches without passing through a rebase boundary — this
+#           code runs once per request;
+#   rebase  reachable only from the publication/selector/anonymizer
+#           boundary functions — runs once per class create/rebase;
+#   setup   everything else (construction, offline tools, accessors).
+# Scaling sites (range copies, unreserved growth inside a loop, map/set
+# node inserts, make_shared/make_unique, explicit new) in hot functions are
+# findings; bounded sites (reserve/resize/assign, sized constructors,
+# reserved or loop-free growth, std::to_string formatting) are inventory
+# only. `--allocs` writes the full ranked inventory — the static half of
+# the allocations-per-request budget that bench_perf_report measures with
+# its counting operator-new hook.
+#
+# sema-copy flags copies the types can't justify: heavy parameters taken by
+# value and never moved, locals that copy where a const& or view would do,
+# last-use copies missing a std::move, and heavy buffer copies inside an
+# annotated critical section (snapshot a shared_ptr instead — the pattern
+# DeltaServerShard::fetch_base uses).
+#
+# Both passes share the `// alloc: ok(<reason>)` suppression form.
+# --------------------------------------------------------------------------
+
+ALLOC_SUPPRESS_RE = re.compile(r"//\s*alloc:\s*ok\(([^)]*)\)")
+
+# Per-request entry points: anything they reach (outside a rebase boundary)
+# allocates once per served request.
+ALLOC_HOT_ROOTS = [
+    "DeltaServerShard::serve",
+    "DeltaServer::serve",
+    "DeltaWorkerPool::submit",
+    "DeltaWorkerPool::worker_loop",
+    "HttpProxy::handle",
+    "LruCache::get",
+    "LruCache::put",
+    "GreedyDualCache::get",
+    "GreedyDualCache::put",
+]
+
+# Publication/selection work: called from serve but amortized over many
+# requests (class create, anonymization round, rebase). The hot walk stops
+# here; these seed the rebase classification instead.
+ALLOC_REBASE_BOUNDARY = [
+    "DeltaServerShard::make_working_encoder",
+    "DeltaServerShard::start_publication",
+    "DeltaServerShard::maybe_complete_publication",
+    "DeltaServerShard::record_publication",
+    "Anonymizer::begin",
+    "Anonymizer::observe",
+    "Anonymizer::finalize",
+    "BaseFileSelector::observe",
+    "BaseFileSelector::admit",
+    "BaseFileSelector::insert_candidate",
+    "BaseFileSelector::insert_reference",
+    "BaseFileSelector::evict_candidate",
+    # Class creation happens once per class and amortizes across every later
+    # request the class serves — the same once-per-epoch shape as a rebase.
+    "ClassManager::create_class",
+]
+
+HEAVY_CONTAINER_RE = re.compile(
+    r"\b(?:util::)?Bytes\b|\bstd::string\b|\bstd::vector\s*<"
+)
+HEAVY_TYPE_RE = re.compile(
+    r"\b(?:util::)?Bytes\b|\bstd::string\b|\bstd::vector\s*<|\bstd::shared_ptr\s*<"
+)
+HEAVY_CTOR_RE = re.compile(
+    r"\b(?P<type>(?:util::)?Bytes\b|std::string\b|std::vector\s*<[^;<>(){}]*>)"
+    r"\s*(?P<name>[A-Za-z_]\w*\s*)?(?P<open>[({])"
+)
+GROWTH_CALL_RE = re.compile(
+    r"\b(?P<recv>[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*?)\s*(?:\.|->)\s*"
+    r"(?P<op>push_back|emplace_back|append|insert|emplace|try_emplace|"
+    r"assign|resize|reserve)\s*\("
+)
+MAKE_SMART_RE = re.compile(r"\bstd::make_(?P<kind>shared|unique)\s*<\s*(?P<arg>[^;>()]*)")
+NEW_EXPR_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:]*")
+TO_STRING_RE = re.compile(r"(?:\.|->)\s*to_string\s*\(|\bstd::to_string\s*\(")
+QUAL_CALL_RE = re.compile(
+    r"\b(?P<qual>(?:[A-Za-z_]\w*::)+)(?P<fn>[A-Za-z_~]\w*)\s*\("
+)
+LOCAL_DECL_RE = re.compile(
+    r"\b(?P<type>(?:const\s+)?(?:[A-Za-z_]\w*::)*[A-Za-z_]\w*"
+    r"(?:\s*<[^;(){}]*>)?)\s*[&*]?\s+(?P<name>[A-Za-z_]\w*)\s*[=;({]"
+)
+VAR_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+# Kinds that scale with or copy the request: findings when hot. Bounded
+# kinds (sized-ctor, refill, reserved growth, fmt) stay inventory-only.
+ALLOC_FLAGGED_KINDS = {
+    "range-copy", "growth-in-loop", "node-insert", "make-shared",
+    "make-unique", "new",
+}
+
+
+def loop_regions(body):
+    """[(start, end)] body regions inside a for/while statement."""
+    regions = []
+    for m in LOOP_RE.finditer(body):
+        open_paren = body.index("(", m.start())
+        close_paren = match_paren(body, open_paren)
+        if close_paren < 0:
+            continue
+        i = close_paren + 1
+        while i < len(body) and body[i].isspace():
+            i += 1
+        if i < len(body) and body[i] == "{":
+            end = match_brace(body, i)
+            regions.append((m.start(), end if end > 0 else len(body)))
+        else:
+            semi = body.find(";", i)
+            regions.append((m.start(), semi if semi >= 0 else len(body)))
+    return regions
+
+
+def local_types(unit, classes_by_name):
+    """Variable name -> simple class name, for params and local decls whose
+    (unwrapped) type is a known class."""
+    out = {}
+    for name, type_text in unit.param_names_and_types():
+        t = unwrap_type(type_text)
+        if t in classes_by_name:
+            out[name] = t
+    for m in LOCAL_DECL_RE.finditer(unit.body):
+        t = unwrap_type(m.group("type"))
+        if t in classes_by_name:
+            out.setdefault(m.group("name"), t)
+    return out
+
+
+def member_map_types(cls, unit, classes_by_name):
+    """Receiver name -> raw declared type text (members and typed locals),
+    used to tell a map/set node insert from vector growth."""
+    out = {}
+    if cls is not None:
+        out.update(cls.raw_types)
+    for m in LOCAL_DECL_RE.finditer(unit.body):
+        out.setdefault(m.group("name"), m.group("type"))
+    return out
+
+
+def alloc_sites(unit, cls, classes_by_name):
+    """[(pos, kind, detail)] — every allocation site in unit.body."""
+    body = unit.body
+    sites = []
+    loops = loop_regions(body)
+    raw_types = member_map_types(cls, unit, classes_by_name)
+
+    def in_loop(pos):
+        return any(s <= pos < e for s, e in loops)
+
+    for m in HEAVY_CTOR_RE.finditer(body):
+        open_idx = m.end() - 1
+        close = (match_paren if m.group("open") == "(" else match_brace)(body, open_idx)
+        args = body[open_idx + 1 : close].strip() if close > 0 else ""
+        if not args:
+            continue  # default construction allocates nothing
+        type_text = m.group("type").strip()
+        if re.search(r"\.(?:begin|end|data|cbegin|cend)\s*\(", args):
+            sites.append((m.start(), "range-copy",
+                          f"{type_text} constructed from a range"))
+        else:
+            sites.append((m.start(), "sized-ctor",
+                          f"{type_text} constructed with {args.split(',')[0].strip()!r}"))
+    for m in GROWTH_CALL_RE.finditer(body):
+        recv, op = m.group("recv"), m.group("op")
+        if op in ("assign", "resize", "reserve"):
+            sites.append((m.start(), "refill", f"{recv}.{op}"))
+            continue
+        root = recv.split(".")[0].split("->")[0]
+        raw = raw_types.get(root, "") + raw_types.get(recv, "")
+        is_node = op == "try_emplace" or re.search(r"\bmap\b|\bset\b", raw)
+        if is_node:
+            sites.append((m.start(), "node-insert", f"{recv}.{op}"))
+        elif in_loop(m.start()) and not re.search(
+                rf"{re.escape(recv)}\s*\.\s*reserve\s*\(", body[: m.start()]):
+            sites.append((m.start(), "growth-in-loop",
+                          f"{recv}.{op} in a loop with no preceding reserve"))
+        else:
+            sites.append((m.start(), "growth", f"{recv}.{op}"))
+    # operator[] on a map member default-constructs a node on miss.
+    for m in re.finditer(r"\b([A-Za-z_]\w*_)\s*\[", body):
+        raw = raw_types.get(m.group(1), "")
+        if re.search(r"\bmap\b", raw):
+            sites.append((m.start(), "node-insert", f"{m.group(1)}[] subscript insert"))
+    for m in MAKE_SMART_RE.finditer(body):
+        sites.append((m.start(), f"make-{m.group('kind')}",
+                      f"make_{m.group('kind')}<{m.group('arg').strip()}>"))
+    for m in NEW_EXPR_RE.finditer(body):
+        sites.append((m.start(), "new", m.group(0)))
+    for m in TO_STRING_RE.finditer(body):
+        kind = "fmt" if "std::" in m.group(0) else "range-copy"
+        detail = ("std::to_string formatting" if kind == "fmt"
+                  else "to_string() materializes a full copy")
+        sites.append((m.start(), kind, detail))
+    sites.sort(key=lambda s: s[0])
+    return sites
+
+
+def build_alloc_call_graph(units, classes):
+    """(callables, callee_map, classes_by_name) with deeper resolution than
+    the blocking pass: typed locals/params (`transmit->encode`), globally
+    resolved free functions (`compress::compress`, `lz77_tokenize` across
+    files), and make_shared<T>/T constructor targets."""
+    classes_by_name = {c.name: c for c in classes}
+    impls = {}
+    for c in classes:
+        for b in c.bases:
+            impls.setdefault(b, []).append(c.name)
+    methods = build_method_table(units)
+    free_index = {}
+    for u in units:
+        if not u.cls:
+            free_index.setdefault(u.simple, []).append(f"{u.path.name}::{u.simple}")
+
+    callables = dict(methods)
+    for u in units:
+        if not u.cls:
+            callables.setdefault(f"{u.path.name}::{u.simple}", []).append(u)
+
+    def method_keys(type_name, fn):
+        names = [type_name] + impls.get(type_name, [])
+        return [f"{t}::{fn}" for t in names if f"{t}::{fn}" in methods]
+
+    def callees_of(unit):
+        out = list(resolve_callees(unit, classes_by_name, impls, methods))
+        body = unit.body
+        locals_t = local_types(unit, classes_by_name)
+        for m in VAR_CALL_RE.finditer(body):
+            t = locals_t.get(m.group(1))
+            if t:
+                for key in method_keys(t, m.group(2)):
+                    out.append((key, m.start()))
+        for m in SELF_CALL_RE.finditer(body):
+            fn = m.group(1)
+            if fn in NOT_FUNCTIONS or fn == unit.simple:
+                continue
+            for key in free_index.get(fn, []):
+                out.append((key, m.start()))
+        for m in QUAL_CALL_RE.finditer(body):
+            if m.group("qual").startswith("std::"):
+                continue  # std::to_string etc. never resolve to repo code
+            for key in free_index.get(m.group("fn"), []):
+                out.append((key, m.start()))
+        for m in MAKE_SMART_RE.finditer(body):
+            t = unwrap_type(m.group("arg"))
+            for key in method_keys(t, t):
+                out.append((key, m.start()))
+        for m in LOCAL_DECL_RE.finditer(body):
+            if m.group(0).rstrip().endswith("("):
+                t = unwrap_type(m.group("type"))
+                for key in method_keys(t, t):
+                    out.append((key, m.start()))
+        return out
+
+    callee_map = {}
+    for key, us in callables.items():
+        callee_map[key] = sorted({k for u in us for (k, _p) in callees_of(u)})
+    return callables, callee_map, classes_by_name
+
+
+def classify_alloc_functions(callables, callee_map):
+    """key -> 'hot' | 'rebase' | 'setup'. Hot wins when both walks reach a
+    function (it runs per request regardless of also serving rebases)."""
+    boundary = {k for k in ALLOC_REBASE_BOUNDARY if k in callables}
+    hot = {k for k in ALLOC_HOT_ROOTS if k in callables}
+    stack = list(hot)
+    while stack:
+        for c in callee_map.get(stack.pop(), []):
+            if c not in hot and c not in boundary and c in callables:
+                hot.add(c)
+                stack.append(c)
+    rebase = set(boundary)
+    stack = list(boundary)
+    while stack:
+        for c in callee_map.get(stack.pop(), []):
+            if c not in rebase and c not in hot and c in callables:
+                rebase.add(c)
+                stack.append(c)
+    return {k: ("hot" if k in hot else "rebase" if k in rebase else "setup")
+            for k in callables}
+
+
+def alloc_pass(units, classes, alloc_sup_by_path, allocs_out=None):
+    callables, callee_map, classes_by_name = build_alloc_call_graph(units, classes)
+    classification = classify_alloc_functions(callables, callee_map)
+    order = {"hot": 0, "rebase": 1, "setup": 2}
+    findings = []
+    rows = []
+    totals = {"hot_sites": 0, "hot_flagged": 0, "hot_suppressed": 0,
+              "rebase_sites": 0, "setup_sites": 0, "hot_functions": 0}
+    for key, us in callables.items():
+        cls_kind = classification[key]
+        site_rows = []
+        for u in us:
+            cls = classes_by_name.get(u.cls)
+            sup = alloc_sup_by_path.get(u.path, {})
+            for pos, kind, detail in alloc_sites(u, cls, classes_by_name):
+                line = u.body_line + u.body.count("\n", 0, pos)
+                suppressed = line in sup or (line - 1) in sup
+                flagged = kind in ALLOC_FLAGGED_KINDS
+                site_rows.append({
+                    "line": line, "kind": kind, "detail": detail,
+                    "flagged": flagged, "suppressed": suppressed,
+                    "reason": sup.get(line, sup.get(line - 1, "")),
+                })
+                if cls_kind == "hot" and flagged and not suppressed:
+                    findings.append(Finding(
+                        u.path, line, "sema-alloc",
+                        f"{u.name}: per-request allocation on the serve hot "
+                        f"path ({kind}: {detail}) — eliminate it or annotate "
+                        f"// alloc: ok(<reason>)"))
+        if cls_kind == "hot":
+            totals["hot_sites"] += len(site_rows)
+            totals["hot_flagged"] += sum(r["flagged"] for r in site_rows)
+            totals["hot_suppressed"] += sum(r["suppressed"] for r in site_rows)
+            totals["hot_functions"] += 1
+        else:
+            totals[f"{cls_kind}_sites"] += len(site_rows)
+        if site_rows or cls_kind == "hot":
+            u0 = us[0]
+            rows.append({
+                "function": key,
+                "file": Finding(u0.path, u0.line, "", "").rel(),
+                "line": u0.line,
+                "classification": cls_kind,
+                "allocs": len(site_rows),
+                "flagged": sum(r["flagged"] for r in site_rows),
+                "suppressed": sum(r["suppressed"] for r in site_rows),
+                "sites": site_rows,
+            })
+    rows.sort(key=lambda r: (order[r["classification"]], -r["allocs"],
+                             r["file"], r["line"]))
+    for rank, r in enumerate(rows, start=1):
+        r["rank"] = rank
+    if allocs_out is not None:
+        allocs_out["functions"] = rows
+        allocs_out["totals"] = totals
+        allocs_out["hot_roots"] = sorted(k for k in ALLOC_HOT_ROOTS if k in callables)
+        allocs_out["rebase_boundary"] = sorted(
+            k for k in ALLOC_REBASE_BOUNDARY if k in callables)
+    return findings
+
+
+HEAVY_COPY_DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:const\s+)?"
+    r"(?P<type>(?:util::)?Bytes|std::string|std::vector\s*<[^;<>]*>)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*=\s*(?P<rhs>[^;]+);"
+)
+PLAIN_LVALUE_RE = re.compile(
+    r"^\*?\s*[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*$"
+)
+HEAVY_LOCAL_DECL_RE = re.compile(
+    r"\b(?:util::Bytes|std::string|std::vector\s*<[^;<>]*>)\s+"
+    r"([A-Za-z_]\w*)\s*[=;({]"
+)
+LAST_USE_COPY_RE = re.compile(
+    r"(?:=\s*|\.\s*(?:push_back|emplace_back)\s*\(\s*)([A-Za-z_]\w*)\s*[;)]"
+)
+
+
+def copy_pass(units, classes, alloc_sup_by_path):
+    classes_by_name = {c.name: c for c in classes}
+    findings = []
+    for unit in units:
+        body = unit.body
+        cls = classes_by_name.get(unit.cls)
+        sup = alloc_sup_by_path.get(unit.path, {})
+
+        def note(line, message):
+            if line in sup or (line - 1) in sup:
+                return
+            findings.append(Finding(unit.path, line, "sema-copy", message))
+
+        def note_pos(pos, message):
+            note(unit.body_line + body.count("\n", 0, pos), message)
+
+        # (a) heavy parameter by value, never moved. Constructor member-init
+        # lists end up in unit.trail or (when the header glob re-splits on a
+        # nested paren) in unit.params, so both are searched for the move.
+        by_value_heavy = []
+        for name, type_text in unit.param_names_and_types():
+            if "&" in type_text or "*" in type_text:
+                continue
+            if not HEAVY_TYPE_RE.search(type_text):
+                continue
+            if re.search(rf"std::move\s*\(\s*{re.escape(name)}\b",
+                         " ".join((body, unit.trail, unit.params))):
+                continue
+            if HEAVY_CONTAINER_RE.search(type_text):
+                by_value_heavy.append(name)
+            note(unit.line,
+                 f"{unit.name}: heavy parameter '{name}' passed by value and "
+                 f"never moved — take util::BytesView/std::span/const&, or "
+                 f"std::move it into its sink")
+
+        # Critical-section regions: LockGuard scopes plus a REQUIRES body.
+        regions = guard_scopes(unit, cls) if cls is not None else []
+        if cls is not None:
+            req = requires_mutex(unit, cls)
+            if req is not None:
+                regions.append((0, len(body), f"{cls.name}::{req}"))
+
+        def region_of(pos):
+            return next((r for r in regions if r[0] <= pos < r[1]), None)
+
+        # (b)/(c) heavy copy-initialization from a plain lvalue: a view or
+        # const& outside a lock, a shared_ptr snapshot inside one.
+        for m in HEAVY_COPY_DECL_RE.finditer(body):
+            rhs = m.group("rhs").strip()
+            if not PLAIN_LVALUE_RE.match(rhs):
+                continue
+            region = region_of(m.start("name"))
+            if region is not None:
+                note_pos(m.start("name"),
+                         f"{unit.name}: heavy copy of '{rhs}' inside the "
+                         f"{region[2]} critical section — snapshot a "
+                         f"shared_ptr or copy outside the lock")
+            else:
+                note_pos(m.start("name"),
+                         f"{unit.name}: '{m.group('name')}' copies '{rhs}' — "
+                         f"a const reference, util::BytesView, or std::move "
+                         f"would avoid the allocation")
+
+        # (c) heavy range-copy construction while a mutex is held.
+        if regions:
+            for m in HEAVY_CTOR_RE.finditer(body):
+                open_idx = m.end() - 1
+                close = (match_paren if m.group("open") == "(" else match_brace)(
+                    body, open_idx)
+                args = body[open_idx + 1 : close] if close > 0 else ""
+                if not re.search(r"\.(?:begin|end|data|cbegin|cend)\s*\(", args):
+                    continue
+                region = region_of(m.start())
+                if region is not None:
+                    note_pos(m.start(),
+                             f"{unit.name}: heavy copy "
+                             f"({m.group('type').strip()} from a range) inside "
+                             f"the {region[2]} critical section — snapshot a "
+                             f"shared_ptr or copy outside the lock")
+
+        # (d) last-use copy of a heavy local/param that misses a std::move.
+        heavy_locals = set(HEAVY_LOCAL_DECL_RE.findall(body)) | set(by_value_heavy)
+        for m in LAST_USE_COPY_RE.finditer(body):
+            name = m.group(1)
+            if name not in heavy_locals:
+                continue
+            if re.search(rf"\b{re.escape(name)}\b", body[m.end():]):
+                continue
+            note_pos(m.start(),
+                     f"{unit.name}: last use of heavy local '{name}' copies "
+                     f"it — std::move it into the sink")
+    return findings
+
+
+def suppression_pass(suppressed_by_path, alloc_sup_by_path=None):
     findings = []
     for path, sup in suppressed_by_path.items():
         for line, reason in sup.items():
@@ -1495,6 +1975,17 @@ def suppression_pass(suppressed_by_path):
                         line,
                         "sema-suppression",
                         "empty suppression reason: use // sema: ok(<why>)",
+                    )
+                )
+    for path, sup in (alloc_sup_by_path or {}).items():
+        for line, reason in sup.items():
+            if not reason:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "sema-suppression",
+                        "empty suppression reason: use // alloc: ok(<why>)",
                     )
                 )
     return findings
@@ -1519,7 +2010,8 @@ def collect_files(paths):
 
 
 def analyze(paths, frontend="auto", entry_points=None, taint_all=False,
-            graph_out=None, escape_out=None, hotspots_out=None, model_out=None):
+            graph_out=None, escape_out=None, hotspots_out=None, model_out=None,
+            allocs_out=None):
     cindex = load_cindex() if frontend in ("auto", "cindex") else None
     if frontend == "cindex" and cindex is None:
         print("cbde_sema: ERROR: --frontend=cindex but clang.cindex is unavailable",
@@ -1544,6 +2036,7 @@ def analyze(paths, frontend="auto", entry_points=None, taint_all=False,
     text_classes = []
     atomics_by_path = {}
     stripped_by_path = {}
+    alloc_sup_by_path = {}
     for f in collect_files(paths):
         try:
             text, stripped, units, classes, sup = parse_file(f)
@@ -1562,6 +2055,12 @@ def analyze(paths, frontend="auto", entry_points=None, taint_all=False,
         suppressed_by_path[f] = sup
         atomics_by_path[f] = collect_atomics(f, text, stripped)
         stripped_by_path[f] = stripped
+        alloc_sup = {}
+        for i, line in enumerate(text.splitlines(), start=1):
+            am = ALLOC_SUPPRESS_RE.search(line)
+            if am:
+                alloc_sup[i] = am.group(1).strip()
+        alloc_sup_by_path[f] = alloc_sup
 
     findings = []
     findings += taint_pass(all_units, {"taint_all": taint_all}, suppressed_by_path)
@@ -1575,7 +2074,10 @@ def analyze(paths, frontend="auto", entry_points=None, taint_all=False,
     findings += atomics_pass(atomics_by_path, suppressed_by_path, stripped_by_path)
     findings += blocking_pass(text_units, text_classes, suppressed_by_path,
                               hotspots_out)
-    findings += suppression_pass(suppressed_by_path)
+    findings += alloc_pass(text_units, text_classes, alloc_sup_by_path,
+                           allocs_out)
+    findings += copy_pass(text_units, text_classes, alloc_sup_by_path)
+    findings += suppression_pass(suppressed_by_path, alloc_sup_by_path)
     findings.sort(key=lambda f: (f.rel(), f.line, f.check))
     if model_out is not None:
         model_out["classes"] = text_classes
@@ -1592,6 +2094,25 @@ def write_hotspots(sections, out_path):
                        "the shard-boundary evidence for ROADMAP item 1",
         "weights": HOTSPOT_WEIGHTS,
         "sections": sections,
+    }
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def write_allocs(inventory, out_path):
+    import json
+
+    report = {
+        "generated_by": "tools/analyze/cbde_sema.py",
+        "description": "Per-function allocation-site inventory, classified "
+                       "hot/rebase/setup by call-graph reachability from the "
+                       "serve roots; the static half of the "
+                       "allocations-per-request budget",
+        "hot_roots": inventory.get("hot_roots", []),
+        "rebase_boundary": inventory.get("rebase_boundary", []),
+        "totals": inventory.get("totals", {}),
+        "functions": inventory.get("functions", []),
     }
     out_path = Path(out_path)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -1886,15 +2407,94 @@ class Journal {
 """
 
 
+FIXTURE_ALLOC_BAD = """\
+#include "util/bytes.hpp"
+namespace cbde::fix {
+class DeltaServerShard {
+ public:
+  util::Bytes serve(util::BytesView doc) {
+    util::Bytes body(doc.begin(), doc.end());
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      body.push_back(doc[i]);
+    }
+    auto keep = std::make_shared<util::Bytes>(body);
+    sink(keep);
+    return body;
+  }
+ private:
+  void sink(std::shared_ptr<util::Bytes> p);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_ALLOC_CLEAN = """\
+#include "util/bytes.hpp"
+namespace cbde::fix {
+class DeltaServerShard {
+ public:
+  util::Bytes serve(util::BytesView doc) {
+    util::Bytes body;
+    body.reserve(doc.size());
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      body.push_back(doc[i]);
+    }
+    // alloc: ok(one handshake allocation per serve, covered by the budget)
+    auto keep = std::make_shared<util::Bytes>();
+    sink(keep);
+    return body;
+  }
+ private:
+  void sink(std::shared_ptr<util::Bytes> p);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_COPY_BAD = """\
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Ledger {
+ public:
+  void record(util::Bytes doc) EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    util::Bytes snapshot = last_;
+    last_ = doc;
+    use(snapshot);
+  }
+ private:
+  void use(const util::Bytes& b);
+  mutable Mutex mu_;
+  util::Bytes last_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+FIXTURE_COPY_CLEAN = """\
+#include "util/thread_annotations.hpp"
+namespace cbde::fix {
+class Ledger {
+ public:
+  void record(util::Bytes doc) EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
+    last_ = std::move(doc);
+  }
+ private:
+  mutable Mutex mu_;
+  util::Bytes last_ GUARDED_BY(mu_);
+};
+}  // namespace cbde::fix
+"""
+
+
 def self_test():
     failures = []
 
-    def run_fixture(name, source, entry_points, hotspots_out=None):
+    def run_fixture(name, source, entry_points, hotspots_out=None,
+                    allocs_out=None):
         with tempfile.TemporaryDirectory() as td:
             f = Path(td) / f"{name}.cpp"
             f.write_text(source, encoding="utf-8")
             return analyze([td], frontend="text", entry_points=entry_points,
-                           hotspots_out=hotspots_out)
+                           hotspots_out=hotspots_out, allocs_out=allocs_out)
 
     def expect(name, findings, check, want):
         hits = [f for f in findings if f.check == check]
@@ -1951,6 +2551,34 @@ def self_test():
            run_fixture("blocking_clean", FIXTURE_BLOCKING_CLEAN, []),
            "sema-blocking", want=False)
 
+    inventory = {}
+    alloc_bad = run_fixture("alloc_bad", FIXTURE_ALLOC_BAD, [],
+                            allocs_out=inventory)
+    expect("alloc-bad", alloc_bad, "sema-alloc", want=True)
+    msgs = " | ".join(f.message for f in alloc_bad if f.check == "sema-alloc")
+    for needle in ("range-copy", "growth-in-loop", "make-shared"):
+        if needle not in msgs:
+            failures.append(f"alloc-bad: expected a {needle} finding, got: "
+                            f"{msgs or '(none)'}")
+    top = inventory.get("functions", [{}])[0]
+    if (top.get("function") != "DeltaServerShard::serve"
+            or top.get("classification") != "hot" or top.get("allocs", 0) < 3):
+        failures.append("alloc-bad: expected DeltaServerShard::serve ranked "
+                        f"first as hot with >= 3 sites, got: {top}")
+    expect("alloc-clean",
+           run_fixture("alloc_clean", FIXTURE_ALLOC_CLEAN, []),
+           "sema-alloc", want=False)
+
+    copy_bad = run_fixture("copy_bad", FIXTURE_COPY_BAD, [])
+    expect("copy-bad", copy_bad, "sema-copy", want=True)
+    msgs = " | ".join(f.message for f in copy_bad if f.check == "sema-copy")
+    if "passed by value" not in msgs or "critical section" not in msgs:
+        failures.append("copy-bad: expected a by-value-parameter finding AND "
+                        f"an under-lock copy finding, got: {msgs or '(none)'}")
+    expect("copy-clean",
+           run_fixture("copy_clean", FIXTURE_COPY_CLEAN, []),
+           "sema-copy", want=False)
+
     if failures:
         for f in failures:
             print(f"cbde_sema self-test FAIL: {f}", file=sys.stderr)
@@ -1973,6 +2601,9 @@ def main(argv):
                          "(to PATH, or stdout)")
     ap.add_argument("--hotspots", metavar="PATH",
                     help="write the ranked lock-hotspot report as JSON")
+    ap.add_argument("--allocs", metavar="PATH",
+                    help="write the classified per-function allocation "
+                         "inventory as JSON")
     ap.add_argument("--frontend", choices=("auto", "text", "cindex"), default="auto")
     args = ap.parse_args(argv)
 
@@ -1984,10 +2615,11 @@ def main(argv):
     graph = {} if want_graph else None
     escapes = [] if args.graph_dot is not None else None
     hotspots = [] if args.hotspots else None
+    allocs = {} if args.allocs else None
     model = {} if args.graph_dot is not None else None
     findings = analyze(paths, frontend=args.frontend, graph_out=graph,
                        escape_out=escapes, hotspots_out=hotspots,
-                       model_out=model)
+                       model_out=model, allocs_out=allocs)
 
     if args.graph:
         print("lock-order acquisition graph (held -> acquired):")
@@ -2012,6 +2644,17 @@ def main(argv):
               f"{args.hotspots}"
               + (f" (top: {top['function']} at {top['file']}:{top['line']}, "
                  f"weight {top['weight']})" if top else ""),
+              file=sys.stderr)
+
+    if args.allocs:
+        write_allocs(allocs, args.allocs)
+        totals = allocs.get("totals", {})
+        print(f"cbde_sema: allocation inventory -> {args.allocs} "
+              f"(hot: {totals.get('hot_sites', 0)} site(s) across "
+              f"{totals.get('hot_functions', 0)} function(s), "
+              f"{totals.get('hot_suppressed', 0)} suppressed; "
+              f"rebase: {totals.get('rebase_sites', 0)}, "
+              f"setup: {totals.get('setup_sites', 0)})",
               file=sys.stderr)
 
     if args.update_baseline:

@@ -85,16 +85,33 @@ CATCH_OK = re.compile(
 # tests/fuzz CMake foreach list so ctest actually runs it.
 FUZZ_REQUIRED = {
     "delta::apply": "cbd1",
+    "delta::apply_into": "cbd1",
     "delta::inspect": "cbd1",
     "delta::vcdiff_apply": "vcdiff",
     "delta::vcdiff_inspect": "vcdiff",
     "compress::decompress": "compress",
+    "compress::decompress_into": "compress",
     "http::HttpRequest::parse": "http",
     "http::HttpResponse::parse": "http",
     "trace::parse_clf": "access_log",
     "trace::read_access_log": "access_log",
     "core::load_config": "config",
 }
+
+# Unreserved growth in the byte-pipeline layers: push_back / emplace_back /
+# append inside a loop in src/delta or src/compress without a preceding
+# reserve() on the same receiver re-allocates O(log n) times per call — on
+# the per-request encode/decode path that is the exact regression class the
+# sema-alloc pass hunts. The lint check is the fast, always-on guard for
+# those two directories; `// lint: growth-ok <reason>` is the escape hatch,
+# and a `// alloc: ok(<reason>)` annotation already adjudicated by the
+# deeper analyzer is honored too.
+GROWTH_DIRS = ("src/delta/", "src/compress/")
+GROWTH_CALL = re.compile(
+    r"\b(?P<recv>[A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(?P<op>push_back|emplace_back|append)\s*\(")
+GROWTH_OK = re.compile(r"lint:\s*growth-ok|alloc:\s*ok\(")
+LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
 
 # Side effects that must never appear inside a contract condition: the
 # lookbehind/lookahead on `=` spare the comparison operators.
@@ -326,6 +343,64 @@ def check_obs_metrics(sites: ObsSites, findings: list[Finding]) -> None:
                     "_total suffix"))
 
 
+def check_hot_path_growth(path: Path, lines: list[str],
+                          findings: list[Finding]) -> None:
+    posix = path.resolve().as_posix()
+    if not any(d in posix for d in GROWTH_DIRS):
+        return
+    text = "\n".join(strip_code_noise(line) for line in lines)
+    reported: set[int] = set()
+    for head in LOOP_HEAD.finditer(text):
+        # Walk the loop-head parens, then the braced body (or the single
+        # statement up to ';').
+        j = text.index("(", head.start())
+        depth = 0
+        while j < len(text):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        k = j + 1
+        while k < len(text) and text[k] in " \t\n":
+            k += 1
+        if k < len(text) and text[k] == "{":
+            depth, end = 1, k + 1
+            while end < len(text) and depth:
+                if text[end] == "{":
+                    depth += 1
+                elif text[end] == "}":
+                    depth -= 1
+                end += 1
+            body_start, body_end = k + 1, end - 1
+        else:
+            semi = text.find(";", k)
+            if semi < 0:
+                continue
+            body_start, body_end = k, semi
+        for g in GROWTH_CALL.finditer(text, body_start, body_end):
+            recv = g.group("recv")
+            # A reserve on the same receiver anywhere before the loop head
+            # (i.e. earlier in the file) sizes the container up front.
+            if re.search(rf"\b{re.escape(recv)}\s*(?:\.|->)\s*reserve\s*\(",
+                         text[:head.start()]):
+                continue
+            line_no = text.count("\n", 0, g.start()) + 1
+            if line_no in reported:
+                continue  # nested loops see the same call twice
+            if GROWTH_OK.search(lines[line_no - 1]) or (
+                    line_no >= 2 and GROWTH_OK.search(lines[line_no - 2])):
+                continue
+            reported.add(line_no)
+            findings.append(Finding(
+                "hot-path-growth", path, line_no,
+                f"{recv}.{g.group('op')} grows inside a loop with no "
+                f"preceding {recv}.reserve(); size the container up front "
+                "or annotate `// lint: growth-ok <reason>`"))
+
+
 def check_fuzz_coverage(root: Path, findings: list[Finding]) -> None:
     cmake = root / "tests/fuzz/CMakeLists.txt"
     main = root / "tests/fuzz/fuzz_main.cpp"
@@ -370,6 +445,7 @@ def lint_paths(dirs: list[Path], root: Path) -> list[Finding]:
         check_banned_fn(path, lines, findings)
         check_catch_swallow(path, text, findings)
         check_contracts_form(path, lines, findings)
+        check_hot_path_growth(path, lines, findings)
         collect_obs_registrations(path, lines, obs_sites)
     check_obs_metrics(obs_sites, findings)
     check_fuzz_coverage(root, findings)
@@ -401,6 +477,19 @@ SEEDED_VIOLATIONS = {
                   '  reg.counter("cbde_seed_dup_total", "second site");\n'
                   '  reg.counter("cbde_seed_requests", "missing _total");\n'
                   "}\n",
+    # Unreserved growth in a loop (the check is gated to src/delta and
+    # src/compress paths; SEEDED_SUBDIRS places this fixture accordingly).
+    "hot-path-growth": "void tokenize(util::Bytes& out, util::BytesView in) {\n"
+                       "  for (std::size_t i = 0; i < in.size(); ++i) {\n"
+                       "    out.push_back(in[i]);\n"
+                       "  }\n"
+                       "}\n",
+}
+
+# Checks whose seeded fixture must live under a specific repo-relative
+# subdirectory to be in scope.
+SEEDED_SUBDIRS = {
+    "hot-path-growth": "src/delta",
 }
 
 SEEDED_CLEAN = (
@@ -423,6 +512,26 @@ SEEDED_CLEAN = (
 )
 
 
+GROWTH_CLEAN = (
+    "void pack(util::Bytes& out, util::BytesView in) {\n"
+    "  out.reserve(in.size());\n"
+    "  for (std::size_t i = 0; i < in.size(); ++i) {\n"
+    "    out.push_back(in[i]);  // reserved above\n"
+    "  }\n"
+    "  util::Bytes header;\n"
+    "  for (int i = 0; i < 4; ++i) {\n"
+    "    // lint: growth-ok bounded four-byte header\n"
+    "    header.push_back(0);\n"
+    "  }\n"
+    "  util::Bytes tail;\n"
+    "  while (tail.size() < 4) {\n"
+    "    // alloc: ok(bounded pushes, adjudicated by sema-alloc)\n"
+    "    tail.push_back(0);\n"
+    "  }\n"
+    "}\n"
+)
+
+
 def self_test() -> int:
     failures = 0
     with tempfile.TemporaryDirectory(prefix="cbde_lint_selftest") as tmp:
@@ -430,7 +539,9 @@ def self_test() -> int:
         # Each violation class, alone in a file, must be caught — i.e. a
         # lint run over that file exits non-zero for that check.
         for check, source in SEEDED_VIOLATIONS.items():
-            f = tmpdir / f"{check.replace('-', '_')}.cpp"
+            subdir = tmpdir / SEEDED_SUBDIRS.get(check, ".")
+            subdir.mkdir(parents=True, exist_ok=True)
+            f = subdir / f"{check.replace('-', '_')}.cpp"
             f.write_text(source, encoding="utf-8")
             found = [x for x in lint_paths([f], REPO_ROOT) if x.check == check]
             if not found:
@@ -442,6 +553,12 @@ def self_test() -> int:
         clean = tmpdir / "clean.cpp"
         clean.write_text(SEEDED_CLEAN, encoding="utf-8")
         extra = lint_paths([clean], REPO_ROOT)
+        # The growth clean twin must sit in a gated directory to be in scope:
+        # reserve-preceded loops and both escape hatches stay silent.
+        growth_clean = tmpdir / "src/compress/clean_growth.cpp"
+        growth_clean.parent.mkdir(parents=True, exist_ok=True)
+        growth_clean.write_text(GROWTH_CLEAN, encoding="utf-8")
+        extra += lint_paths([growth_clean], REPO_ROOT)
         for x in extra:
             print(f"self-test FAIL: false positive: {x}")
             failures += 1
