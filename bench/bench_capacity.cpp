@@ -38,6 +38,8 @@
 #include "core/delta_server.hpp"
 #include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
+#include "obs/span_profile.hpp"
+#include "obs/time_series.hpp"
 #include "server/load.hpp"
 #include "trace/document.hpp"
 #include "trace/site.hpp"
@@ -103,6 +105,13 @@ struct ShardRunResult {
   core::PipelineMetrics metrics;
   std::size_t storage_bytes = 0;
   std::size_t num_classes = 0;
+  /// One time-series window per replay chunk (per-shard rates, serve
+  /// quantiles, imbalance, lock-wait share) — the telemetry the CI
+  /// perf-regression gate bands.
+  std::vector<obs::TimeSeriesWindow> windows;
+  /// Flame profile folded from the sampled request traces of this run:
+  /// where serve time goes at this shard count.
+  obs::SpanProfile profile;
 };
 
 /// Replay `requests` identical requests against a fresh DeltaServer built
@@ -117,6 +126,13 @@ ShardRunResult run_sharded_replay(const trace::SiteModel& site, std::size_t shar
   config.selector.sample_prob = 0.05;
   config.rebase_timeout = 1000000 * util::kSecond;
   config.basic_rebase_after = 1 << 20;
+  // Telemetry for the scaling curve: trace every 16th request into the
+  // flame profile and time mutex acquisition, so the windows below carry a
+  // real lock_wait_share. Identical settings at every shard count keep the
+  // req/s numbers comparable across the curve (the byte ledger is
+  // obs-independent, so parity is unaffected either way).
+  config.obs.sample_rate = 1.0 / 16.0;
+  config.obs.lock_profile = true;
 
   http::RuleBook rules;
   rules.add_rule(site.config().host, site.partition_rule());
@@ -145,31 +161,50 @@ ShardRunResult run_sharded_replay(const trace::SiteModel& site, std::size_t shar
     stream.push_back(Req{user, site.url_for(ref), site.generate(ref, user, now), now});
   }
 
+  // Replay in kWindows chunks: submit a chunk, drain it, close a
+  // time-series window. Window boundaries are request-count based, not
+  // wall-clock based, so every window holds real per-shard serve counts —
+  // the >= 8 populated windows the telemetry gate asserts hold even on a
+  // fast smoke run.
+  constexpr std::size_t kWindows = 10;
+  ShardRunResult result;
+  result.shards = shards;
   std::vector<std::future<core::ServedResponse>> futures;
-  futures.reserve(requests);
+  futures.reserve(requests / kWindows + 1);
   const auto t0 = std::chrono::steady_clock::now();
   {
     // workers=0: recommended sizing — max(shards, cores) — so encode
     // parallelism composes with shard parallelism.
     core::DeltaWorkerPool pool(server, 0);
-    for (Req& req : stream) {
-      futures.push_back(
-          pool.submit(req.user, std::move(req.url), std::move(req.doc), req.now));
-    }
-    ShardRunResult result;
     result.workers = pool.workers();
-    for (auto& f : futures) f.get();
+    obs::TimeSeriesConfig ts_config;
+    ts_config.ring_capacity = kWindows;  // manual ticks, no JSONL sink here
+    obs::TimeSeriesRecorder recorder(server.obs().registry(), ts_config);
+    std::size_t next = 0;
+    for (std::size_t w = 1; w <= kWindows; ++w) {
+      const std::size_t chunk_end = requests * w / kWindows;
+      futures.clear();
+      for (; next < chunk_end; ++next) {
+        Req& req = stream[next];
+        futures.push_back(
+            pool.submit(req.user, std::move(req.url), std::move(req.doc), req.now));
+      }
+      for (auto& f : futures) {
+        const core::ServedResponse resp = f.get();
+        if (resp.trace != nullptr) result.profile.add(*resp.trace);
+      }
+      recorder.tick();
+    }
     pool.shutdown();
-    const auto t1 = std::chrono::steady_clock::now();
-    result.shards = shards;
-    result.total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
-    result.requests_per_sec =
-        static_cast<double>(requests) / (result.total_ns / 1e9);
-    result.metrics = server.metrics();
-    result.storage_bytes = server.storage_bytes();
-    result.num_classes = server.num_classes();
-    return result;
+    result.windows = recorder.windows();
   }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  result.requests_per_sec = static_cast<double>(requests) / (result.total_ns / 1e9);
+  result.metrics = server.metrics();
+  result.storage_bytes = server.storage_bytes();
+  result.num_classes = server.num_classes();
+  return result;
 }
 
 /// Bit-exact Table II parity against the reference run; any divergence is a
@@ -220,8 +255,8 @@ int run_shards_mode(const std::vector<std::size_t>& shard_counts,
   const std::size_t cores = std::thread::hardware_concurrency();
   std::printf("requests/run: %zu   hardware_concurrency: %zu\n", requests, cores);
   if (cores <= 1) {
-    std::printf("(1-core host: the curve measures sharding overhead, not "
-                "parallel speedup; byte parity is still asserted)\n");
+    std::printf("NOTICE: 1-core host -- this curve measures sharding OVERHEAD, "
+                "not parallel speedup (byte parity is still asserted)\n");
   }
 
   bench::JsonWriter json;
@@ -266,6 +301,7 @@ int run_shards_mode(const std::vector<std::size_t>& shard_counts,
     if (baseline != nullptr && baseline != &r && baseline->requests_per_sec > 0) {
       json.field("speedup_vs_shards_1", r.requests_per_sec / baseline->requests_per_sec);
     }
+    json.field_raw("time_series", bench::time_series_summary_json(r.windows));
     json.close();
   }
   json.field("byte_parity", static_cast<std::size_t>(parity ? 1 : 0));
@@ -277,6 +313,51 @@ int run_shards_mode(const std::vector<std::size_t>& shard_counts,
   }
   out << json.finish();
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Telemetry sidecars next to the JSON: the full per-window records as
+  // JSONL (one line per window, every run concatenated) and one speedscope
+  // document holding a flame profile per shard count.
+  std::string stem = out_path;
+  if (stem.size() > 5 && stem.compare(stem.size() - 5, 5, ".json") == 0) {
+    stem.resize(stem.size() - 5);
+  }
+  const std::string ts_path = stem + "_timeseries.jsonl";
+  const std::string profile_path = stem + "_profile.json";
+  {
+    std::ofstream ts(ts_path);
+    for (const ShardRunResult& r : runs) {
+      for (const obs::TimeSeriesWindow& w : r.windows) {
+        ts << obs::TimeSeriesRecorder::to_jsonl(w);
+      }
+    }
+  }
+  {
+    std::vector<std::pair<std::string, const obs::SpanProfile*>> profiles;
+    profiles.reserve(runs.size());
+    for (const ShardRunResult& r : runs) {
+      profiles.emplace_back("shards_" + std::to_string(r.shards), &r.profile);
+    }
+    std::ofstream prof(profile_path);
+    prof << obs::SpanProfile::speedscope_document(profiles) << "\n";
+  }
+  std::printf("wrote %s and %s\n", ts_path.c_str(), profile_path.c_str());
+
+  // Where serve time goes per shard count (self time folded from the
+  // sampled traces; open https://speedscope.app on the profile for the
+  // interactive view).
+  for (const ShardRunResult& r : runs) {
+    std::printf("  serve-time profile, shards=%zu (%zu sampled traces, %llu us):\n",
+                r.shards, r.profile.traces(),
+                static_cast<unsigned long long>(r.profile.total_us()));
+    const std::string collapsed = r.profile.collapsed();
+    std::size_t begin = 0;
+    while (begin < collapsed.size()) {
+      std::size_t end = collapsed.find('\n', begin);
+      if (end == std::string::npos) end = collapsed.size();
+      std::printf("    %s\n", collapsed.substr(begin, end - begin).c_str());
+      begin = end + 1;
+    }
+  }
 
   print_rule();
   if (!parity) {

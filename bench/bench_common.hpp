@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/time_series.hpp"
+
 namespace cbde::bench {
 
 inline void print_rule(std::size_t width = 78) {
@@ -64,10 +67,47 @@ struct JsonWriter {
     indent();
     out += "\"" + key + "\": " + std::to_string(value);
   }
+  /// Pre-serialized JSON value (an array or object built elsewhere, e.g. the
+  /// time-series window summaries). The caller guarantees `json_value` is
+  /// valid JSON; it is spliced in verbatim.
+  void field_raw(const std::string& key, const std::string& json_value) {
+    comma();
+    indent();
+    out += "\"" + key + "\": " + json_value;
+  }
   std::string finish() {
     out += "\n}\n";
     return out;
   }
 };
+
+/// Compact JSON array of per-window summaries for the BENCH_*.json
+/// `time_series` sections (tools/obs/perf_gate.py reads these). The full
+/// windows — every counter delta and histogram — go to the JSONL sink; this
+/// is the derived-statistics view the regression gate bands.
+inline std::string time_series_summary_json(
+    const std::vector<obs::TimeSeriesWindow>& windows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const obs::TimeSeriesWindow& w = windows[i];
+    if (i > 0) out += ",";
+    out += "{\"tick\":" + std::to_string(w.tick);
+    out += ",\"span_seconds\":" + obs::format_double(w.span_seconds);
+    out += ",\"serve_requests\":" + std::to_string(w.serve_requests);
+    out += ",\"serve_p50_us\":" + obs::format_double(w.serve_p50_us);
+    out += ",\"serve_p95_us\":" + obs::format_double(w.serve_p95_us);
+    out += ",\"serve_p99_us\":" + obs::format_double(w.serve_p99_us);
+    out += ",\"imbalance\":" + obs::format_double(w.imbalance);
+    out += ",\"lock_wait_share\":" + obs::format_double(w.lock_wait_share);
+    out += ",\"shard_rate\":[";
+    for (std::size_t k = 0; k < w.shard_rate.size(); ++k) {
+      if (k > 0) out += ",";
+      out += obs::format_double(w.shard_rate[k]);
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
 
 }  // namespace cbde::bench

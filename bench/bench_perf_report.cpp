@@ -30,6 +30,7 @@
 #include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
 #include "obs/obs.hpp"
+#include "obs/time_series.hpp"
 #include "trace/site.hpp"
 #include "util/hash.hpp"
 
@@ -289,6 +290,14 @@ int main(int argc, char** argv) {
                                               "Benchmark encode latency");
     obs::Histogram& sz =
         bench_obs.histogram("cbde_bench_delta_size_bytes", "Benchmark delta size");
+    // The overhead number is measured with a live TimeSeriesRecorder
+    // snapshotting this registry in the background (the deployment shape:
+    // telemetry windows closing while requests are served), so the <3% CI
+    // gate covers the recorder's registry-snapshot cost too.
+    obs::TimeSeriesConfig ts_config;
+    ts_config.interval_us = 2000;
+    obs::TimeSeriesRecorder recorder(bench_obs.registry(), ts_config);
+    recorder.start();
     std::size_t sink = 0;
     double bare_ns = 0, instr_ns = 0;
     for (int round = 0; round < 3; ++round) {
@@ -306,6 +315,7 @@ int main(int argc, char** argv) {
       bare_ns = round == 0 ? b : std::min(bare_ns, b);
       instr_ns = round == 0 ? in : std::min(instr_ns, in);
     }
+    recorder.stop();
     const double overhead_pct =
         bare_ns <= 0 ? 0.0 : (instr_ns - bare_ns) / bare_ns * 100.0;
     json.open("obs");
@@ -313,6 +323,9 @@ int main(int argc, char** argv) {
     json.field("encode_bare_ns", bare_ns);
     json.field("encode_instrumented_ns", instr_ns);
     json.field("overhead_pct", overhead_pct);
+    // Windows the background recorder closed while the loops above ran
+    // (0 under CBDE_OBS_OFF, where start() refuses to spawn the thread).
+    json.field("recorder_windows", static_cast<std::size_t>(recorder.ticks()));
     json.close();
     std::printf("%-28s %12.2f%%  (bare %.0f ns, instrumented %.0f ns, sink %zu)\n",
                 "obs_overhead", overhead_pct, bare_ns, instr_ns, sink);
@@ -330,13 +343,18 @@ int main(int argc, char** argv) {
   // --metrics-out snapshot aggregates the whole end-to-end section.
   obs::ObsConfig e2e_obs_config;
   e2e_obs_config.sample_rate = 0.01;
+  e2e_obs_config.lock_profile = true;  // lock_wait_share in the windows below
   auto e2e_obs = std::make_shared<obs::Obs>(e2e_obs_config);
+  // One time-series window per worker-count run (manual ticks): the
+  // `time_series` section perf_gate.py bands in BENCH_delta.json.
+  obs::TimeSeriesRecorder e2e_recorder(e2e_obs->registry(), obs::TimeSeriesConfig{});
 
   json.open("end_to_end");
   double ns_1 = 0;
   double allocs_1 = 0, allocs_4 = 0;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     const EndToEndResult r = run_end_to_end(site, workers, e2e_requests, e2e_obs);
+    e2e_recorder.tick();
     const std::string key = "workers_" + std::to_string(workers);
     json.open(key);
     json.field("ns_per_request", r.ns_per_request);
@@ -360,6 +378,8 @@ int main(int argc, char** argv) {
     }
   }
   json.close();  // end_to_end
+  json.field_raw("time_series",
+                 bench::time_series_summary_json(e2e_recorder.windows()));
 
   // Measured allocation budget — the dynamic twin of the static hot-path
   // inventory (tools/analyze/cbde_sema.py --allocs). ci.sh cross-checks

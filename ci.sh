@@ -177,10 +177,27 @@ with open(sys.argv[1]) as f:
 pct = obs["overhead_pct"]
 if not obs.get("compiled_out") and pct >= 3.0:
     sys.exit(f"ci.sh: obs overhead {pct:.2f}% >= 3% budget")
-print(f"obs overhead {pct:.2f}% (< 3% budget)")
+print(f"obs overhead {pct:.2f}% (< 3% budget, measured with the recorder live: "
+      f"{obs.get('recorder_windows', 0)} windows closed during the loop)")
 EOF
 else
   echo "== SKIPPED: python3 not installed — obs exposition/catalog gate NOT run ==" >&2
+fi
+
+echo "== telemetry: time-series schema + span profiles + perf-regression gate =="
+# The capacity smoke above wrote its full window records and flame profiles
+# next to the JSON; validate both exports structurally, then band the
+# derived statistics (imbalance, lock-wait share, p99/p50, obs overhead)
+# against the checked-in baselines. Regressions fail here, loudly.
+CAP_TS="${CAP_JSON%.json}_timeseries.jsonl"
+CAP_PROFILE="${CAP_JSON%.json}_profile.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/obs/validate_metrics.py --timeseries "$CAP_TS" --min-windows 16 \
+    --speedscope "$CAP_PROFILE"
+  python3 tools/obs/perf_gate.py --baseline tools/obs/perf_baseline.json \
+    --capacity "$CAP_JSON" --delta "$BENCH_JSON"
+else
+  echo "== SKIPPED: python3 not installed — telemetry schema + perf gate NOT run ==" >&2
 fi
 
 echo "== contracts audit build (CBDE_CONTRACTS=audit) + full ctest =="

@@ -149,6 +149,8 @@ LoadedConfig load_config(std::istream& in) {
         }
       } else if (key == "obs-event-log") {
         server.obs.event_log_path = value;
+      } else if (key == "obs-lock-profile") {
+        server.obs.lock_profile = parse_bool(value, line_no);
       } else if (key == "base-store") {
         if (value == "memory") {
           out.disk_store.reset();
@@ -242,6 +244,7 @@ server-shards    = 1       # independent delta-server shards (SVI-C capacity)
 obs-sample-rate       = 0.01
 obs-histogram-buckets = 4
 # obs-event-log       = /var/log/cbde/events.jsonl
+# obs-lock-profile    = true   # timed mutex acquisition -> cbde_lock_wait_seconds_*
 
 # Transmission delta tuning (defaults are the Vdelta full parameterization;
 # ranges are checked at load time).

@@ -77,6 +77,25 @@ DeltaServer::DeltaServer(DeltaServerConfig config, http::RuleBook rules,
       &reg.counter("cbde_anonymizer_docs_observed_total",
                    "Documents counted toward an anonymization's N");
 
+  // Per-shard series: the registry is label-free, so the shard index becomes
+  // a name segment (obs::shard_metric_name). Registered here — once, at a
+  // single site — and indexed by the shards on the serve path.
+  instr_.shard_requests.reserve(config_.shards);
+  instr_.shard_serve.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    instr_.shard_requests.push_back(
+        &reg.counter(obs::shard_metric_name("cbde_shard_requests_total", i),
+                     "Requests served by this shard"));
+    instr_.shard_serve.push_back(
+        &obs_->histogram(obs::shard_metric_name("cbde_shard_serve_microseconds", i),
+                         "Wall time of one serve() on this shard"));
+  }
+  if (obs_->config().lock_profile) {
+    instr_.shard_lock = &obs_->lock_wait_profile(
+        "cbde_lock_wait_seconds_server_shard",
+        "Wait to acquire a shard mutex (one site shared by all shards)");
+  }
+
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     std::unique_ptr<BaseStore> shard_store =
@@ -211,6 +230,9 @@ DeltaServerShard::DeltaServerShard(const DeltaServerConfig& config, std::size_t 
                /*id_first=*/static_cast<ClassId>(index) + 1, id_stride) {
   CBDE_EXPECT(index_ < id_stride);  // id_stride is the server's shard count
   CBDE_EXPECT(store_ != nullptr);
+  // Opt-in lock-wait profiling: all shard mutexes share one cell (the
+  // "server_shard" site), wired before any request can contend the mutex.
+  if (instr_.shard_lock != nullptr) mu_.attach_wait_profile(instr_.shard_lock);
 }
 
 DeltaServerShard::ClassState& DeltaServerShard::state_of(ClassId id) {
@@ -289,10 +311,13 @@ ServedResponse DeltaServerShard::serve(std::uint64_t user_id,
                                        std::shared_ptr<obs::TraceContext> trace) {
   ServedResponse out;
   out.doc_size = doc.size();
+  out.shard = index_;
+  const std::uint64_t serve_start = obs::now_us();
   if (trace == nullptr) trace = obs_.maybe_trace();
   obs::TraceContext* tc = trace.get();
   obs::Span serve_span(tc, "serve");
   instr_.doc_size->observe(doc.size());
+  instr_.shard_requests[index_]->inc();
 
   // Phase 1 — locked: bookkeeping, grouping, selector/anonymizer feeding,
   // publication progress; ends by snapshotting the class's published-base
@@ -509,6 +534,7 @@ ServedResponse DeltaServerShard::serve(std::uint64_t user_id,
   serve_span.tag("bytes_out", std::to_string(out.wire_body.size()));
   if (out.base_needed) serve_span.tag("base_bytes", std::to_string(out.base_size));
   serve_span.end();
+  instr_.shard_serve[index_]->observe(obs::now_us() - serve_start);
   out.trace = std::move(trace);
   return out;
 }

@@ -125,6 +125,11 @@ struct ServedResponse {
   bool basic_rebase = false;
   double cpu_us = 0;
 
+  /// Shard that served the request (0 when unsharded). Lets callers (the
+  /// worker pool's queue-wait attribution, capacity tooling) index per-shard
+  /// instruments without re-deriving the route.
+  std::size_t shard = 0;
+
   /// Trace of this request when it was sampled (Obs::maybe_trace), null
   /// otherwise. Spans are closed by the time serve() returns.
   std::shared_ptr<obs::TraceContext> trace;
@@ -174,6 +179,18 @@ struct ServerInstruments {
   obs::Histogram* encode_latency = nullptr;
   obs::Histogram* delta_size = nullptr;
   obs::Histogram* doc_size = nullptr;
+  /// Per-shard series (index == shard index), named via
+  /// obs::shard_metric_name: cbde_shard_<k>_requests_total and
+  /// cbde_shard_<k>_serve_microseconds. Sized to the shard count at
+  /// construction so the serve path indexes without a lookup or allocation.
+  /// The TimeSeriesRecorder derives shard rates and the imbalance
+  /// coefficient from these.
+  std::vector<obs::Counter*> shard_requests;
+  std::vector<obs::Histogram*> shard_serve;
+  /// Lock-wait profiling cell shared by every shard mutex (one "site");
+  /// null unless ObsConfig::lock_profile is set. Feeds
+  /// cbde_lock_wait_seconds_server_shard.
+  util::LockWaitCell* shard_lock = nullptr;
   /// Handed to every per-class selector/anonymizer, so their counts
   /// aggregate across classes.
   SelectorInstruments selector;

@@ -27,6 +27,18 @@ DeltaWorkerPool::DeltaWorkerPool(DeltaServer& server, std::size_t workers,
   instr_.queue_wait =
       &server_.obs().histogram("cbde_pool_queue_wait_microseconds",
                                "Wall time a job spent queued before a worker took it");
+  instr_.shard_queue_wait.reserve(server_.num_shards());
+  for (std::size_t i = 0; i < server_.num_shards(); ++i) {
+    instr_.shard_queue_wait.push_back(&server_.obs().histogram(
+        obs::shard_metric_name("cbde_shard_queue_wait_microseconds", i),
+        "Queue wait of jobs served by this shard"));
+  }
+  if (server_.obs().config().lock_profile) {
+    // Wired before the workers spawn, so no locker can miss the cell.
+    mu_.attach_wait_profile(&server_.obs().lock_wait_profile(
+        "cbde_lock_wait_seconds_pool_queue",
+        "Wait to acquire the worker pool's queue mutex"));
+  }
   threads_.reserve(worker_count_);
   for (std::size_t i = 0; i < worker_count_; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -83,11 +95,15 @@ void DeltaWorkerPool::worker_loop() {
       instr_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
     }
     not_full_.notify_one();
-    instr_.queue_wait->observe(obs::now_us() - job.enqueue_us);
+    const std::uint64_t wait_us = obs::now_us() - job.enqueue_us;
+    instr_.queue_wait->observe(wait_us);
     if (job.trace != nullptr) job.trace->end(job.queue_span);
     try {
-      job.promise.set_value(server_.serve(job.user_id, job.url, util::as_view(job.doc),
-                                          job.now, std::move(job.trace)));
+      ServedResponse resp = server_.serve(job.user_id, job.url, util::as_view(job.doc),
+                                          job.now, std::move(job.trace));
+      // Attribute the wait to the shard that served the job (known only now).
+      instr_.shard_queue_wait[resp.shard]->observe(wait_us);
+      job.promise.set_value(std::move(resp));
     } catch (...) {
       job.promise.set_exception(std::current_exception());
     }

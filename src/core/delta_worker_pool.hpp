@@ -85,6 +85,11 @@ class DeltaWorkerPool {
     obs::Counter* saturation = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* queue_wait = nullptr;
+    /// Queue wait attributed to the shard that ultimately served the job
+    /// (cbde_shard_<k>_queue_wait_microseconds, index == shard index): a
+    /// single hot shard shows up as one deep per-shard wait distribution,
+    /// which the aggregate queue_wait above averages away.
+    std::vector<obs::Histogram*> shard_queue_wait;
   };
 
   void worker_loop() EXCLUDES(mu_);

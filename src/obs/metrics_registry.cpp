@@ -36,24 +36,41 @@ std::string_view metric_kind_name(MetricKind kind) {
   return "untyped";
 }
 
-Histogram::Histogram(std::size_t sub_buckets)
+Histogram::Histogram(std::size_t sub_buckets, double unit_scale)
     : sub_buckets_(sub_buckets),
       log2_sub_(static_cast<unsigned>(std::countr_zero(sub_buckets))),
       value_buckets_(sub_buckets + (kMaxExponent - log2_sub_) * sub_buckets),
+      unit_scale_(unit_scale),
       counts_(new std::atomic<std::uint64_t>[value_buckets_ + 1]) {
   for (std::size_t i = 0; i <= value_buckets_; ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
   }
 }
 
-double Histogram::upper_bound(std::size_t i) const noexcept {
-  if (i >= value_buckets_) return std::numeric_limits<double>::infinity();
-  if (i < sub_buckets_) return static_cast<double>(i);
-  const std::size_t m = i - sub_buckets_;
-  const unsigned e = log2_sub_ + static_cast<unsigned>(m / sub_buckets_);
-  const std::uint64_t sub = m % sub_buckets_;
-  const std::uint64_t width = std::uint64_t{1} << (e - log2_sub_);
+double Histogram::upper_bound_for(std::size_t sub_buckets, std::size_t i) noexcept {
+  const unsigned log2_sub = static_cast<unsigned>(std::countr_zero(sub_buckets));
+  const std::size_t value_buckets =
+      sub_buckets + (kMaxExponent - log2_sub) * sub_buckets;
+  if (i >= value_buckets) return std::numeric_limits<double>::infinity();
+  if (i < sub_buckets) return static_cast<double>(i);
+  const std::size_t m = i - sub_buckets;
+  const unsigned e = log2_sub + static_cast<unsigned>(m / sub_buckets);
+  const std::uint64_t sub = m % sub_buckets;
+  const std::uint64_t width = std::uint64_t{1} << (e - log2_sub);
   return static_cast<double>((std::uint64_t{1} << e) + (sub + 1) * width - 1);
+}
+
+std::string shard_metric_name(std::string_view base, std::size_t shard) {
+  constexpr std::string_view kPrefix = "cbde_shard_";
+  if (base.substr(0, kPrefix.size()) != kPrefix) {
+    throw std::invalid_argument("obs: shard_metric_name base '" + std::string(base) +
+                                "' must start with cbde_shard_");
+  }
+  std::string out(kPrefix);
+  out += std::to_string(shard);
+  out += '_';
+  out += base.substr(kPrefix.size());
+  return out;
 }
 
 std::uint64_t Histogram::count() const noexcept {
@@ -107,16 +124,21 @@ Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
-                                      std::size_t sub_buckets) {
+                                      std::size_t sub_buckets, double unit_scale) {
   if (sub_buckets == 0 || sub_buckets > 64 || !std::has_single_bit(sub_buckets)) {
     bad_registration(name, "sub_buckets must be a power of two in [1, 64]");
+  }
+  if (!(unit_scale > 0.0)) {
+    bad_registration(name, "unit_scale must be positive");
   }
   const LockGuard lock(mu_);
   Entry& e = entry_for(name, help, MetricKind::kHistogram);
   if (!e.histogram) {
-    e.histogram.reset(new Histogram(sub_buckets));
+    e.histogram.reset(new Histogram(sub_buckets, unit_scale));
   } else if (e.histogram->sub_buckets() != sub_buckets) {
     bad_registration(name, "already registered with different sub_buckets");
+  } else if (e.histogram->unit_scale() != unit_scale) {
+    bad_registration(name, "already registered with a different unit_scale");
   }
   // sema: ok(node-based map: instrument handles are stable for the registry's lifetime by contract)
   return *e.histogram;
@@ -185,13 +207,20 @@ std::string MetricsRegistry::prometheus() const {
         if (any) {
           for (std::size_t i = 0; i <= last; ++i) {
             cumulative += h.bucket_count(i);
-            out += name + "_bucket{le=\"" + format_double(h.upper_bound(i)) + "\"} " +
+            out += name + "_bucket{le=\"" +
+                   format_double(h.upper_bound(i) * h.unit_scale()) + "\"} " +
                    std::to_string(cumulative) + "\n";
           }
         }
         const std::uint64_t total = h.count();
         out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
-        out += name + "_sum " + std::to_string(h.sum()) + "\n";
+        // Scaled histograms (seconds families) export a scaled sum; the
+        // unscaled ones keep the exact integer form.
+        out += name + "_sum " +
+               (h.unit_scale() == 1.0
+                    ? std::to_string(h.sum())
+                    : format_double(static_cast<double>(h.sum()) * h.unit_scale())) +
+               "\n";
         out += name + "_count " + std::to_string(total) + "\n";
         break;
       }
@@ -222,8 +251,11 @@ std::string MetricsRegistry::json() const {
         break;
       case MetricKind::kHistogram: {
         const Histogram& h = *entry.histogram;
-        out += "histogram\", \"count\": " + std::to_string(h.count()) +
-               ", \"sum\": " + std::to_string(h.sum()) + ", \"buckets\": [";
+        out += "histogram\", \"count\": " + std::to_string(h.count()) + ", \"sum\": " +
+               (h.unit_scale() == 1.0
+                    ? std::to_string(h.sum())
+                    : format_double(static_cast<double>(h.sum()) * h.unit_scale())) +
+               ", \"buckets\": [";
         std::size_t last = 0;
         bool any = false;
         for (std::size_t i = 0; i + 1 < h.num_buckets(); ++i) {
@@ -236,7 +268,7 @@ std::string MetricsRegistry::json() const {
         for (std::size_t i = 0; any && i <= last; ++i) {
           cumulative += h.bucket_count(i);
           if (i > 0) out += ", ";
-          out += "{\"le\": " + format_double(h.upper_bound(i)) +
+          out += "{\"le\": " + format_double(h.upper_bound(i) * h.unit_scale()) +
                  ", \"count\": " + std::to_string(cumulative) + "}";
         }
         out += "]";
@@ -246,6 +278,53 @@ std::string MetricsRegistry::json() const {
     out += "}";
   }
   out += "\n}\n";
+  return out;
+}
+
+std::map<std::string, MetricSample> MetricsRegistry::snapshot() const {
+  const LockGuard lock(mu_);
+  std::map<std::string, MetricSample> out;
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.counter = entry.counter->value();
+        break;
+      case MetricKind::kDoubleCounter:
+        sample.double_counter = entry.double_counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSnapshot& snap = sample.histogram;
+        snap.sub_buckets = h.sub_buckets();
+        snap.unit_scale = h.unit_scale();
+        snap.sum = h.sum();
+        std::size_t last = 0;
+        bool any = false;
+        for (std::size_t i = 0; i + 1 < h.num_buckets(); ++i) {
+          if (h.bucket_count(i) > 0) {
+            last = i;
+            any = true;
+          }
+        }
+        if (any) {
+          snap.counts.resize(last + 1);
+          for (std::size_t i = 0; i <= last; ++i) {
+            snap.counts[i] = h.bucket_count(i);
+            snap.count += snap.counts[i];
+          }
+        }
+        snap.overflow = h.bucket_count(h.num_buckets() - 1);
+        snap.count += snap.overflow;
+        break;
+      }
+    }
+    out.emplace(name, std::move(sample));
+  }
   return out;
 }
 

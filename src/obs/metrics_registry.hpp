@@ -163,11 +163,24 @@ class Histogram {
 
   /// Largest value belonging to bucket `i` (the Prometheus `le` bound,
   /// inclusive); +infinity for the overflow bucket.
-  double upper_bound(std::size_t i) const noexcept;
+  double upper_bound(std::size_t i) const noexcept {
+    return upper_bound_for(sub_buckets_, i);
+  }
+  /// Same, from the resolution alone — bucket boundaries depend only on
+  /// sub_buckets, so snapshots (HistogramSnapshot) can resolve bounds
+  /// without the live instrument.
+  static double upper_bound_for(std::size_t sub_buckets, std::size_t i) noexcept;
 
   /// Total buckets including the overflow bucket.
   std::size_t num_buckets() const noexcept { return value_buckets_ + 1; }
   std::size_t sub_buckets() const noexcept { return sub_buckets_; }
+
+  /// Multiplier applied to bucket bounds and the sum at export time (and
+  /// nowhere else: observe() stays integer microseconds/bytes on the hot
+  /// path). 1.0 for every histogram except the `cbde_lock_wait_seconds_*`
+  /// family, which observes microseconds and exports seconds (1e-6) per the
+  /// Prometheus base-unit convention.
+  double unit_scale() const noexcept { return unit_scale_; }
 
   std::uint64_t bucket_count(std::size_t i) const noexcept {
     return counts_[i].load(std::memory_order_relaxed);
@@ -177,17 +190,51 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(std::size_t sub_buckets);
+  Histogram(std::size_t sub_buckets, double unit_scale);
 
   std::size_t sub_buckets_;
   unsigned log2_sub_;
   std::size_t value_buckets_;  ///< buckets before the overflow bucket
+  double unit_scale_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // atomic: counter
   std::atomic<std::uint64_t> sum_{0};                     // atomic: counter
 };
 
 enum class MetricKind { kCounter, kDoubleCounter, kGauge, kHistogram };
 std::string_view metric_kind_name(MetricKind kind);
+
+/// Point-in-time copy of one histogram, decoupled from the live instrument
+/// so windowed consumers (TimeSeriesRecorder) can diff and quantile it
+/// offline. `counts` holds the finite buckets trimmed to the highest
+/// non-empty index (a missing tail is zero); the overflow (+Inf) bucket is
+/// carried separately. Bucket index i bounds via
+/// Histogram::upper_bound_for(sub_buckets, i), times unit_scale.
+struct HistogramSnapshot {
+  std::size_t sub_buckets = 0;
+  double unit_scale = 1.0;
+  std::uint64_t sum = 0;    ///< raw (unscaled) sum of observations
+  std::uint64_t count = 0;  ///< total observations incl. overflow
+  std::uint64_t overflow = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+/// One registry entry at snapshot time. Only the member matching `kind` is
+/// meaningful; the rest keep their zero defaults.
+struct MetricSample {
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;
+  double double_counter = 0.0;
+  std::int64_t gauge = 0;
+  HistogramSnapshot histogram;
+};
+
+/// "cbde_shard_requests_total", 3 -> "cbde_shard_3_requests_total": the
+/// per-shard metric family convention (the registry is label-free, so the
+/// shard index becomes a name segment right after the cbde_shard prefix).
+/// `base` must start with "cbde_shard_"; throws std::invalid_argument
+/// otherwise. tools/lint/cbde_lint.py resolves registrations routed through
+/// this helper against the catalog as `cbde_shard_<k>_...`.
+std::string shard_metric_name(std::string_view base, std::size_t shard);
 
 class MetricsRegistry {
  public:
@@ -203,8 +250,12 @@ class MetricsRegistry {
   DoubleCounter& double_counter(std::string_view name, std::string_view help)
       EXCLUDES(mu_);
   Gauge& gauge(std::string_view name, std::string_view help) EXCLUDES(mu_);
+  /// `unit_scale` multiplies bucket bounds and the sum at export time (see
+  /// Histogram::unit_scale); a mismatch with an existing registration
+  /// throws, same as a sub_buckets mismatch.
   Histogram& histogram(std::string_view name, std::string_view help,
-                       std::size_t sub_buckets = 4) EXCLUDES(mu_);
+                       std::size_t sub_buckets = 4, double unit_scale = 1.0)
+      EXCLUDES(mu_);
 
   /// Prometheus text exposition format (v0.0.4). Families sorted by name;
   /// histogram buckets are emitted cumulatively up to the highest non-empty
@@ -217,6 +268,12 @@ class MetricsRegistry {
 
   /// Registered names, sorted (test/CI introspection).
   std::vector<std::string> names() const EXCLUDES(mu_);
+
+  /// Structured point-in-time copy of every instrument, name-keyed and
+  /// sorted. Per-metric atomic, not cross-metric consistent (same caveat as
+  /// prometheus()); the TimeSeriesRecorder diffs consecutive snapshots into
+  /// windows, so any skew is bounded by one window.
+  std::map<std::string, MetricSample> snapshot() const EXCLUDES(mu_);
 
   /// Look up an existing instrument; nullptr when `name` is unregistered or
   /// of a different kind (test/CI introspection — hot paths keep handles).

@@ -37,6 +37,26 @@ std::shared_ptr<TraceContext> Obs::maybe_trace() {
       next_trace_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
+util::LockWaitCell& Obs::lock_wait_profile(std::string_view name,
+                                           std::string_view help) {
+  // Register (idempotently) outside cells_mu_ so the registry lock and the
+  // cell-map lock never nest.
+  Histogram& hist = registry_.histogram(name, help, config_.histogram_sub_buckets,
+                                        /*unit_scale=*/1e-6);
+  const LockGuard lock(cells_mu_);
+  auto it = lock_cells_.find(name);
+  if (it == lock_cells_.end()) {
+    auto cell = std::make_unique<util::LockWaitCell>();
+    cell->target = &hist;
+    cell->observe = [](void* target, std::uint64_t wait_us) {
+      static_cast<Histogram*>(target)->observe(wait_us);
+    };
+    it = lock_cells_.emplace(std::string(name), std::move(cell)).first;
+  }
+  // sema: ok(node-based map: cell nodes are never erased, so the reference is stable for the Obs lifetime)
+  return *it->second;
+}
+
 void Obs::emit(EventKind kind, std::int64_t sim_time_us, std::uint64_t class_id,
                std::vector<std::pair<std::string, std::string>> fields) {
   if (kCompiledOut) return;

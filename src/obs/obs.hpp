@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -22,6 +23,8 @@
 #include "obs/event_log.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_span.hpp"
+#include "util/lock_wait.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cbde::obs {
 
@@ -38,6 +41,12 @@ struct ObsConfig {
   std::string event_log_path;
   /// Most recent events retained in memory.
   std::size_t event_ring_capacity = 1024;
+  /// Opt-in lock-wait profiling: when true, components attach timed
+  /// acquisition cells (Obs::lock_wait_profile) to their contended mutexes
+  /// and per-site `cbde_lock_wait_seconds_*` histograms populate. Off by
+  /// default — the timed path costs a try_lock (and, contended, two clock
+  /// reads) per acquisition.
+  bool lock_profile = false;
 };
 
 class Obs {
@@ -64,10 +73,27 @@ class Obs {
   void emit(EventKind kind, std::int64_t sim_time_us, std::uint64_t class_id,
             std::vector<std::pair<std::string, std::string>> fields = {});
 
+  /// One lock-wait profiling cell per mutex *site* (all shard mutexes of a
+  /// server share the "server_shard" site; the pool queue mutex is its own
+  /// site). Registers `name` as a seconds-scaled histogram (observations
+  /// are microseconds, exported bounds are seconds), wires the cell's
+  /// observe callback at it, and returns the cell for
+  /// Mutex::attach_wait_profile. Idempotent per name; the cell outlives
+  /// every attached mutex because this Obs owns both. `name` must be a
+  /// `cbde_lock_wait_seconds_<site>` literal at the call site — the lint
+  /// one-registration-site rule tracks these like any other registration.
+  util::LockWaitCell& lock_wait_profile(std::string_view name, std::string_view help)
+      EXCLUDES(cells_mu_);
+
  private:
   ObsConfig config_;
   MetricsRegistry registry_;
   EventLog events_;
+  mutable Mutex cells_mu_;
+  /// Node-based map: cell addresses are stable for the Obs lifetime (the
+  /// mutexes keep raw pointers into it).
+  std::map<std::string, std::unique_ptr<util::LockWaitCell>, std::less<>> lock_cells_
+      GUARDED_BY(cells_mu_);
   std::uint64_t sample_period_;  ///< 0 = never, N = every N-th request
   std::atomic<std::uint64_t> sample_seq_{0};     // atomic: counter
   std::atomic<std::uint64_t> next_trace_id_{1};  // atomic: counter

@@ -20,13 +20,29 @@ Two independent checks, either or both selected by flags:
                          against every registration site found under the
                          given source dirs — extraction is shared with
                          tools/lint/cbde_lint.py, so the catalog, the lint,
-                         and the code cannot drift apart silently.
+                         and the code cannot drift apart silently. Per-shard
+                         series registered through obs::shard_metric_name
+                         appear under their catalog spelling with a `<k>`
+                         placeholder (cbde_shard_<k>_requests_total).
+  --timeseries FILE      validate a TimeSeriesRecorder JSONL export: every
+                         line a JSON object with the full window schema
+                         (tick, wall_us, span_seconds, reset, counter_delta,
+                         counter_rate, gauge, histogram, shard_rate,
+                         imbalance, serve stats, lock_wait_share), counter
+                         deltas non-negative, quantiles ordered.
+  --min-windows N        with --timeseries: require at least N populated
+                         windows (serve_requests > 0 with shard rates) —
+                         the bench-replay acceptance bar.
+  --speedscope FILE      validate a speedscope document produced by
+                         obs::SpanProfile: frame-table indices in range,
+                         weights aligned with samples, endValue consistent.
 
 Exit status: 0 valid, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -43,7 +59,7 @@ TYPE_RE = re.compile(rf"^# TYPE ({METRIC_NAME}) (counter|gauge|histogram|summary
 SAMPLE_RE = re.compile(rf"^({METRIC_NAME})(\{{[^}}]*\}})? ({VALUE})$")
 LE_RE = re.compile(r'le="([^"]*)"')
 
-CATALOG_ROW = re.compile(r"^\|\s*`(cbde_[a-z0-9_]+)`\s*\|")
+CATALOG_ROW = re.compile(r"^\|\s*`(cbde_[a-z0-9_<>]+)`\s*\|")
 
 
 def parse_value(text: str) -> float:
@@ -188,11 +204,142 @@ def diff_catalog(doc: Path, source_dirs: list[Path]) -> list[str]:
     return errors
 
 
+# Window schema for the TimeSeriesRecorder JSONL export: key -> required
+# type(s). Nested histogram entries carry their own fixed shape.
+WINDOW_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "tick": int,
+    "wall_us": int,
+    "span_seconds": (int, float),
+    "reset": bool,
+    "counter_delta": dict,
+    "counter_rate": dict,
+    "gauge": dict,
+    "histogram": dict,
+    "shard_rate": list,
+    "imbalance": (int, float),
+    "serve_requests": int,
+    "serve_p50_us": (int, float),
+    "serve_p95_us": (int, float),
+    "serve_p99_us": (int, float),
+    "lock_wait_share": (int, float),
+}
+HISTOGRAM_KEYS = {"count", "sum", "p50", "p95", "p99", "reset"}
+
+
+def validate_timeseries(path: Path, min_windows: int) -> list[str]:
+    errors: list[str] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    if not lines:
+        return [f"{path}: empty time-series export"]
+
+    populated = 0
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            errors.append(f"{path}:{i}: blank line in JSONL export")
+            continue
+        try:
+            w = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{path}:{i}: not valid JSON: {e}")
+            continue
+        if not isinstance(w, dict):
+            errors.append(f"{path}:{i}: window is not a JSON object")
+            continue
+        bad = False
+        for key, expected in WINDOW_SCHEMA.items():
+            if key not in w:
+                errors.append(f"{path}:{i}: window missing key '{key}'")
+                bad = True
+            elif not isinstance(w[key], expected) or (
+                    # bool is an int subclass; keep tick/serve_requests honest
+                    expected is int and isinstance(w[key], bool)):
+                errors.append(
+                    f"{path}:{i}: key '{key}' has type "
+                    f"{type(w[key]).__name__}")
+                bad = True
+        if bad:
+            continue
+        for name, delta in w["counter_delta"].items():
+            if not isinstance(delta, (int, float)) or delta < 0:
+                errors.append(
+                    f"{path}:{i}: counter_delta[{name}] negative or non-numeric "
+                    "(reset windows must re-baseline, not go negative)")
+        for name, h in w["histogram"].items():
+            if not isinstance(h, dict) or set(h) != HISTOGRAM_KEYS:
+                errors.append(
+                    f"{path}:{i}: histogram[{name}] must carry exactly "
+                    f"{sorted(HISTOGRAM_KEYS)}")
+                continue
+            if not h["reset"] and not (h["p50"] <= h["p95"] <= h["p99"]):
+                errors.append(
+                    f"{path}:{i}: histogram[{name}] quantiles out of order")
+        if not all(isinstance(r, (int, float)) and r >= 0
+                   for r in w["shard_rate"]):
+            errors.append(f"{path}:{i}: shard_rate entries must be numbers >= 0")
+        if w["serve_requests"] > 0 and w["shard_rate"]:
+            populated += 1
+
+    if populated < min_windows:
+        errors.append(
+            f"{path}: only {populated} populated window(s) "
+            f"(serve_requests > 0 with shard rates); need >= {min_windows}")
+    return errors
+
+
+def validate_speedscope(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+    if doc.get("$schema") != "https://www.speedscope.app/file-format-schema.json":
+        errors.append(f"{path}: missing/wrong $schema")
+    frames = doc.get("shared", {}).get("frames")
+    if not isinstance(frames, list) or not all(
+            isinstance(f, dict) and isinstance(f.get("name"), str) for f in frames):
+        errors.append(f"{path}: shared.frames must be a list of {{name}} objects")
+        frames = []
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        errors.append(f"{path}: profiles must be a non-empty list")
+        profiles = []
+    for p_idx, p in enumerate(profiles):
+        where = f"{path}: profiles[{p_idx}]"
+        if p.get("type") != "sampled" or p.get("unit") != "microseconds":
+            errors.append(f"{where}: expected type 'sampled', unit 'microseconds'")
+        samples = p.get("samples", [])
+        weights = p.get("weights", [])
+        if len(samples) != len(weights):
+            errors.append(f"{where}: {len(samples)} samples vs "
+                          f"{len(weights)} weights")
+        for s in samples:
+            if not isinstance(s, list) or not s or not all(
+                    isinstance(f, int) and 0 <= f < len(frames) for f in s):
+                errors.append(f"{where}: sample stack with out-of-range "
+                              "frame index")
+                break
+        if not all(isinstance(wt, int) and wt >= 0 for wt in weights):
+            errors.append(f"{where}: weights must be non-negative integers")
+        elif p.get("endValue") != sum(weights) or p.get("startValue") != 0:
+            errors.append(f"{where}: startValue/endValue inconsistent with "
+                          "the weight sum")
+    active = doc.get("activeProfileIndex")
+    if profiles and not (isinstance(active, int) and 0 <= active < len(profiles)):
+        errors.append(f"{path}: activeProfileIndex out of range")
+    return errors
+
+
 def main(argv: list[str]) -> int:
     prom: Path | None = None
     catalog: Path | None = None
+    timeseries: Path | None = None
+    speedscope: Path | None = None
     sources: list[Path] = []
     min_histograms = 0
+    min_windows = 0
     i = 1
     while i < len(argv):
         arg = argv[i]
@@ -202,12 +349,18 @@ def main(argv: list[str]) -> int:
             min_histograms = int(argv[i + 1]); i += 2
         elif arg == "--catalog" and i + 1 < len(argv):
             catalog = Path(argv[i + 1]); i += 2
+        elif arg == "--timeseries" and i + 1 < len(argv):
+            timeseries = Path(argv[i + 1]); i += 2
+        elif arg == "--min-windows" and i + 1 < len(argv):
+            min_windows = int(argv[i + 1]); i += 2
+        elif arg == "--speedscope" and i + 1 < len(argv):
+            speedscope = Path(argv[i + 1]); i += 2
         elif arg == "--sources":
             sources = [Path(a) for a in argv[i + 1:]]; i = len(argv)
         else:
             print(__doc__, file=sys.stderr)
             return 2
-    if prom is None and catalog is None:
+    if prom is None and catalog is None and timeseries is None and speedscope is None:
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -219,12 +372,18 @@ def main(argv: list[str]) -> int:
             print("validate_metrics: --catalog requires --sources", file=sys.stderr)
             return 2
         errors += diff_catalog(catalog, sources)
+    if timeseries is not None:
+        errors += validate_timeseries(timeseries, min_windows)
+    if speedscope is not None:
+        errors += validate_speedscope(speedscope)
     for e in errors:
         print(e)
     if errors:
         print(f"validate_metrics: {len(errors)} finding(s)")
         return 1
-    checked = [s for s in (prom and "exposition", catalog and "catalog") if s]
+    checked = [s for s in (prom and "exposition", catalog and "catalog",
+                           timeseries and "time-series",
+                           speedscope and "speedscope") if s]
     print(f"validate_metrics: {' + '.join(checked)} OK")
     return 0
 
