@@ -29,6 +29,8 @@
 #include "core/delta_server.hpp"
 #include "core/delta_worker_pool.hpp"
 #include "delta/delta.hpp"
+#include "delta/inplace.hpp"
+#include "delta/ir.hpp"
 #include "obs/obs.hpp"
 #include "obs/time_series.hpp"
 #include "trace/site.hpp"
@@ -273,6 +275,88 @@ int main(int argc, char** argv) {
   }
   json.close();  // micro
 
+  // One shared telemetry domain for the codec sweep and the end-to-end
+  // runs below, so the --metrics-out snapshot carries the in-place
+  // instrument families alongside the serve-path metrics.
+  obs::ObsConfig e2e_obs_config;
+  e2e_obs_config.sample_rate = 0.01;
+  e2e_obs_config.lock_profile = true;  // lock_wait_share in the windows below
+  auto e2e_obs = std::make_shared<obs::Obs>(e2e_obs_config);
+  const delta::InPlaceInstruments inplace_ins =
+      delta::InPlaceInstruments::attach(*e2e_obs);
+
+  // Codec family sweep (docs/PERFORMANCE.md codec table): the same
+  // base/cross pair through each encoder tier — the full hash-chain index
+  // and the two O(1)-state rolling-hash matchers — plus the in-place
+  // analysis verdict on each codec's output. The one-pass size factor is
+  // the quality floor ci.sh's inplace stage pins (<= 3x hash-chain).
+  json.open("codecs");
+  const std::pair<const char*, delta::DeltaParams> codec_set[] = {
+      {"hash_chain", delta::DeltaParams::full()},
+      {"one_pass", delta::DeltaParams::one_pass()},
+      {"correcting", delta::DeltaParams::correcting()},
+  };
+  std::size_t hash_chain_bytes = 0, one_pass_bytes = 0;
+  for (const auto& [codec_name, codec_params] : codec_set) {
+    const delta::Encoder enc(base, codec_params);
+    util::Bytes wire;
+    const double encode_ns = time_op(3, iters, [&] {
+      wire = enc.encode(util::as_view(cross)).delta;
+    });
+    const double apply_ns = time_op(3, iters * 4, [&] {
+      (void)delta::apply(util::as_view(base), util::as_view(wire));
+    });
+
+    // In-place verdict on this codec's output. Unsafe programs (the
+    // hash-chain codec emits self-referential target copies) go through
+    // the transformer; the timed loop then runs the certified wire.
+    const delta::Program prog = delta::lift(util::as_view(wire));
+    const delta::VerifyResult verdict = delta::verify_in_place(prog);
+    util::Bytes certified = wire;
+    bool transformed = false;
+    std::size_t scratch = verdict.scratch_bound;
+    if (!verdict.in_place_safe) {
+      const delta::TransformResult t =
+          delta::transform_in_place(prog, util::as_view(base), {}, &inplace_ins);
+      certified = delta::lower(t.program);
+      transformed = t.transformed;
+      scratch = t.scratch_bytes;
+    }
+    util::Bytes buf;
+    const double inplace_ns = time_op(3, iters * 4, [&] {
+      buf = base;
+      delta::apply_in_place(buf, util::as_view(certified), &inplace_ins);
+    });
+    const delta::DeltaLintStats lint = delta::delta_lint(prog, wire.size());
+    inplace_ins.observe_lint(lint);
+
+    if (std::strcmp(codec_name, "hash_chain") == 0) hash_chain_bytes = wire.size();
+    if (std::strcmp(codec_name, "one_pass") == 0) one_pass_bytes = wire.size();
+
+    json.open(codec_name);
+    json.field("encode_ns_per_op", encode_ns);
+    json.field("encode_mbps", mbps(cross.size(), encode_ns));
+    json.field("delta_bytes", wire.size());
+    json.field("delta_ratio",
+               static_cast<double>(wire.size()) / static_cast<double>(cross.size()));
+    json.field("apply_ns_per_op", apply_ns);
+    json.field("apply_in_place_ns_per_op", inplace_ns);
+    json.field("inplace_safe", static_cast<std::size_t>(verdict.in_place_safe ? 1 : 0));
+    json.field("inplace_transformed", static_cast<std::size_t>(transformed ? 1 : 0));
+    json.field("inplace_scratch_bytes", scratch);
+    json.field("lint_overhead_bytes", lint.instruction_overhead_bytes);
+    json.close();
+    std::printf("codec %-22s %12.0f ns   %8.2f MB/s   delta %zu B   scratch %zu B\n",
+                codec_name, encode_ns, mbps(cross.size(), encode_ns), wire.size(),
+                scratch);
+  }
+  json.field("one_pass_vs_hash_chain_size_factor",
+             hash_chain_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(one_pass_bytes) /
+                       static_cast<double>(hash_chain_bytes));
+  json.close();  // codecs
+
   // Observability overhead on the smoke encode loop: the same cached encode
   // bare, then wrapped with everything serve() adds per request (two clock
   // reads, two histogram observes, a counter and a double-counter). Under a
@@ -339,12 +423,6 @@ int main(int argc, char** argv) {
   sconfig.doc_template = sized_template(page);
   const trace::SiteModel site(sconfig);
 
-  // One shared telemetry domain across the worker-count runs so the
-  // --metrics-out snapshot aggregates the whole end-to-end section.
-  obs::ObsConfig e2e_obs_config;
-  e2e_obs_config.sample_rate = 0.01;
-  e2e_obs_config.lock_profile = true;  // lock_wait_share in the windows below
-  auto e2e_obs = std::make_shared<obs::Obs>(e2e_obs_config);
   // One time-series window per worker-count run (manual ticks): the
   // `time_series` section perf_gate.py bands in BENCH_delta.json.
   obs::TimeSeriesRecorder e2e_recorder(e2e_obs->registry(), obs::TimeSeriesConfig{});

@@ -93,6 +93,33 @@ for key in encode_cached_cross speedup_4v1 hardware_concurrency overhead_pct \
     { echo "ci.sh: $BENCH_JSON missing key $key" >&2; exit 1; }
 done
 
+echo "== inplace: CRWI verifier self-tests + differential fuzz + codec size floor =="
+# The in-place verifier/transformer and rolling codec family (DESIGN.md §6):
+# the unit suites prove the analyses on constructed programs, fuzz.inplace
+# re-runs the standing differential property (transformer output passes the
+# verifier, apply_in_place reconstructs byte-exactly within the computed
+# scratch bound) on the seeded corpus, and the bench smoke's codecs section
+# pins the one-pass codec's size quality floor against the hash-chain index.
+ctest --preset asan-ubsan -R 'DeltaIr\.|InPlace\.|Rolling\.' --output-on-failure
+ctest --preset asan-ubsan -R '^fuzz\.inplace$' --output-on-failure
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    codecs = json.load(f)["codecs"]
+factor = codecs["one_pass_vs_hash_chain_size_factor"]
+if not (0 < factor <= 3.0):
+    sys.exit(f"ci.sh: one-pass delta size factor {factor:.2f} outside (0, 3] "
+             "— the O(1)-state codec lost too much match quality")
+print(f"one-pass vs hash-chain size factor {factor:.2f} (<= 3x floor); "
+      f"scratch: " + ", ".join(
+          f"{name} {c['inplace_scratch_bytes']} B"
+          for name, c in codecs.items() if isinstance(c, dict)))
+EOF
+else
+  echo "== SKIPPED: python3 not installed — codec size-floor gate NOT run ==" >&2
+fi
+
 echo "== allocation budget: measured allocs/request vs static inventory =="
 # Cross-check the counting-operator-new measurement against the static
 # sema-alloc inventory and the checked-in measured budget: a hot-path

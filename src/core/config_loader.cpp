@@ -125,6 +125,17 @@ LoadedConfig load_config(std::istream& in) {
         server.transmit_params.max_chain = parse_u64(value, line_no);
       } else if (key == "delta-min-match") {
         server.transmit_params.min_match = parse_u64(value, line_no);
+      } else if (key == "delta-codec") {
+        if (value == "hash-chain") {
+          server.transmit_params.codec = delta::DeltaParams::Codec::kHashChain;
+        } else if (value == "one-pass") {
+          server.transmit_params = delta::DeltaParams::one_pass();
+        } else if (value == "correcting") {
+          server.transmit_params = delta::DeltaParams::correcting();
+        } else {
+          fail(line_no,
+               "delta-codec must be 'hash-chain', 'one-pass' or 'correcting'");
+        }
       } else if (key == "basic-rebase-ratio") {
         server.basic_rebase_ratio = parse_double(value, line_no);
       } else if (key == "basic-rebase-after") {
@@ -252,6 +263,9 @@ delta-key-len    = 4       # match key width in bytes
 delta-index-step = 1       # index every step-th base position
 delta-max-chain  = 32      # candidate matches probed per position
 delta-min-match  = 32      # shortest match worth a COPY
+# delta-codec    = hash-chain  # or one-pass / correcting (O(1)-state rolling
+#                              # matchers; selecting one loads its preset, so
+#                              # put delta-* overrides after this line)
 
 [site www.foo.com]
 # Table I row 1 organization: /laptops?id=100

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <optional>
 
+#include "delta/rolling.hpp"
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/varint.hpp"
@@ -401,13 +403,19 @@ struct Encoder::Impl {
   std::shared_ptr<const util::Bytes> base_bytes;
   DeltaParams params;
   std::uint32_t crc;
-  BaseIndex index;
+  // Exactly one of the two indexes is built, matching params.codec: the
+  // rolling codecs never touch the 512 KB hash-chain table and vice versa.
+  std::optional<BaseIndex> index;
+  std::optional<rolling::FootprintTable> footprints;
 
   Impl(std::shared_ptr<const util::Bytes> base, const DeltaParams& p)
-      : base_bytes(std::move(base)),
-        params(p),
-        crc(util::crc32(util::as_view(*base_bytes))),
-        index(util::as_view(*base_bytes), p.key_len, p.index_step) {}
+      : base_bytes(std::move(base)), params(p), crc(util::crc32(util::as_view(*base_bytes))) {
+    if (p.codec == DeltaParams::Codec::kHashChain) {
+      index.emplace(util::as_view(*base_bytes), p.key_len, p.index_step);
+    } else {
+      footprints.emplace(util::as_view(*base_bytes), p.key_len);
+    }
+  }
 };
 
 Encoder::Encoder(util::Bytes base, DeltaParams params)
@@ -431,21 +439,34 @@ const DeltaParams& Encoder::params() const { return impl_->params; }
 std::uint32_t Encoder::base_crc() const { return impl_->crc; }
 
 EncodeResult Encoder::encode(util::BytesView target) const {
-  EncodeResult result = encode_with(impl_->index, util::as_view(*impl_->base_bytes),
-                                    impl_->crc, target, impl_->params);
+  const util::BytesView base = util::as_view(*impl_->base_bytes);
+  EncodeResult result =
+      impl_->index
+          ? encode_with(*impl_->index, base, impl_->crc, target, impl_->params)
+          : rolling::encode_rolling(*impl_->footprints, base, impl_->crc, target,
+                                    impl_->params);
   CBDE_ENSURE(result.copy_bytes + result.add_bytes == target.size());
   return result;
 }
 
 std::size_t Encoder::encode_size(util::BytesView target) const {
-  return encode_size_with(impl_->index, util::as_view(*impl_->base_bytes), target,
-                          impl_->params);
+  const util::BytesView base = util::as_view(*impl_->base_bytes);
+  if (impl_->index) {
+    return encode_size_with(*impl_->index, base, target, impl_->params);
+  }
+  return rolling::encode_size_rolling(*impl_->footprints, base, target, impl_->params);
 }
 
 EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaParams& params) {
   check_params(params);
-  const BaseIndex index(base, params.key_len, params.index_step);
-  EncodeResult result = encode_with(index, base, util::crc32(base), target, params);
+  EncodeResult result;
+  if (params.codec == DeltaParams::Codec::kHashChain) {
+    const BaseIndex index(base, params.key_len, params.index_step);
+    result = encode_with(index, base, util::crc32(base), target, params);
+  } else {
+    const rolling::FootprintTable table(base, params.key_len);
+    result = rolling::encode_rolling(table, base, util::crc32(base), target, params);
+  }
   CBDE_ENSURE(result.copy_bytes + result.add_bytes == target.size());
   return result;
 }
@@ -453,8 +474,12 @@ EncodeResult encode(util::BytesView base, util::BytesView target, const DeltaPar
 std::size_t estimate_delta_size(util::BytesView base, util::BytesView target,
                                 const DeltaParams& params) {
   check_params(params);
-  const BaseIndex index(base, params.key_len, params.index_step);
-  return encode_size_with(index, base, target, params);
+  if (params.codec == DeltaParams::Codec::kHashChain) {
+    const BaseIndex index(base, params.key_len, params.index_step);
+    return encode_size_with(index, base, target, params);
+  }
+  const rolling::FootprintTable table(base, params.key_len);
+  return rolling::encode_size_rolling(table, base, target, params);
 }
 
 namespace {

@@ -56,6 +56,13 @@ class CorruptDelta : public std::runtime_error {
 };
 
 struct DeltaParams {
+  /// Matching strategy. kHashChain is the native Vdelta-style encoder
+  /// (hash-chain index, deep search, self-reference). kOnePass and
+  /// kCorrecting are the Karp-Rabin rolling-hash codecs of Ajtai, Burns,
+  /// Fagin, Long & Stockmeyer (delta/rolling.hpp): O(1) matcher state,
+  /// single scan, base-only copies. All three emit the same CBD1 wire.
+  enum class Codec { kHashChain = 0, kOnePass = 1, kCorrecting = 2 };
+
   std::size_t key_len = 4;        ///< match key size (hash chunk width)
   std::size_t index_step = 1;     ///< index every step-th base position
   std::size_t max_chain = 32;     ///< candidates probed per target position
@@ -75,6 +82,7 @@ struct DeltaParams {
   /// than this — long base matches are already good enough, and skipping
   /// the second probe keeps the common template-heavy path fast.
   std::size_t self_ref_below = 64;
+  Codec codec = Codec::kHashChain;
 
   /// Transmission-quality configuration.
   static DeltaParams full() { return DeltaParams{4, 1, 32, true, 32, true}; }
@@ -82,6 +90,29 @@ struct DeltaParams {
   /// Cheap estimation configuration for grouping (paper §III fn.2: "larger
   /// byte-chunks and only traverses the file in the forward direction").
   static DeltaParams light() { return DeltaParams{8, 8, 4, false, 16, false}; }
+
+  /// Karp-Rabin one-pass codec: a 16-byte fingerprint seed (the rolling
+  /// window; wider than the hash-chain key because a footprint-table hit is
+  /// taken immediately rather than ranked against a chain), no backward
+  /// extension, no self-reference — the minimal-state end of the family.
+  static DeltaParams one_pass() {
+    DeltaParams p;
+    p.key_len = 16;
+    p.max_chain = 1;
+    p.backward_extend = false;
+    p.self_reference = false;
+    p.codec = Codec::kOnePass;
+    return p;
+  }
+
+  /// Karp-Rabin correcting codec: one-pass plus bounded retro-correction of
+  /// the already-emitted instruction tail (delta/rolling.hpp).
+  static DeltaParams correcting() {
+    DeltaParams p = one_pass();
+    p.backward_extend = true;
+    p.codec = Codec::kCorrecting;
+    return p;
+  }
 };
 
 /// Validate a parameterization without encoding anything. Returns nullopt

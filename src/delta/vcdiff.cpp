@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "delta/vcdiff_detail.hpp"
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/varint.hpp"
@@ -9,107 +10,17 @@
 namespace cbde::delta {
 namespace {
 
+using vcdiff_detail::AddressCache;
+using vcdiff_detail::kTagAdd;
+using vcdiff_detail::kTagCopyBase;
+using vcdiff_detail::kTagRun;
+
 constexpr std::size_t kHashBits = 17;
 constexpr std::size_t kHashSize = 1u << kHashBits;
-
-constexpr std::uint8_t kTagAdd = 0;
-constexpr std::uint8_t kTagRun = 1;
-constexpr std::uint8_t kTagCopyBase = 2;  // kTagCopyBase + mode
-
-constexpr std::size_t kModeSelf = 0;
-constexpr std::size_t kModeHere = 1;
-constexpr std::size_t kModeNear0 = 2;
 
 inline std::uint32_t key_hash(const std::uint8_t* p, std::size_t key_len) {
   return static_cast<std::uint32_t>(util::fnv1a64(p, key_len) >> (64 - kHashBits));
 }
-
-inline std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
-}
-
-inline std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
-/// Address encoder/decoder state: sequential prediction ("here") plus a
-/// ring of recently used copy addresses (the RFC's near cache).
-class AddressCache {
- public:
-  explicit AddressCache(std::size_t near_slots) : near_(near_slots, 0) {}
-
-  /// Choose the cheapest mode for `addr`; appends the encoded address to
-  /// `out` and returns the mode.
-  std::size_t encode(util::Bytes& out, std::size_t addr) {
-    std::size_t best_mode = kModeSelf;
-    std::size_t best_size = util::uvarint_size(addr);
-    const std::uint64_t here_enc = zigzag(static_cast<std::int64_t>(addr) -
-                                          static_cast<std::int64_t>(predicted_));
-    if (util::uvarint_size(here_enc) < best_size) {
-      best_mode = kModeHere;
-      best_size = util::uvarint_size(here_enc);
-    }
-    for (std::size_t j = 0; j < near_.size(); ++j) {
-      const std::uint64_t enc = zigzag(static_cast<std::int64_t>(addr) -
-                                       static_cast<std::int64_t>(near_[j]));
-      if (util::uvarint_size(enc) < best_size) {
-        best_mode = kModeNear0 + j;
-        best_size = util::uvarint_size(enc);
-      }
-    }
-    if (best_mode == kModeSelf) {
-      util::put_uvarint(out, addr);
-    } else if (best_mode == kModeHere) {
-      util::put_uvarint(out, here_enc);
-    } else {
-      util::put_uvarint(out, zigzag(static_cast<std::int64_t>(addr) -
-                                    static_cast<std::int64_t>(near_[best_mode - kModeNear0])));
-    }
-    return best_mode;
-  }
-
-  /// Decode an address for `mode` from `in` at `pos`.
-  std::size_t decode(util::BytesView in, std::size_t& pos, std::size_t mode) {
-    const auto raw = util::get_uvarint(in, pos);
-    if (!raw) throw CorruptDelta("vcdiff: bad address varint");
-    std::int64_t addr = 0;
-    if (mode == kModeSelf) {
-      if (*raw > static_cast<std::uint64_t>(INT64_MAX)) {
-        throw CorruptDelta("vcdiff: address overflow");
-      }
-      addr = static_cast<std::int64_t>(*raw);
-    } else {
-      std::size_t anchor = 0;
-      if (mode == kModeHere) {
-        anchor = predicted_;
-      } else {
-        const std::size_t slot = mode - kModeNear0;
-        if (slot >= near_.size()) throw CorruptDelta("vcdiff: bad address mode");
-        anchor = near_[slot];
-      }
-      // Anchors are bounded by the decode cap, but the delta-supplied offset
-      // spans the full zigzag range; a wrapped sum would alias a valid
-      // address, so the add must be checked.
-      if (__builtin_add_overflow(static_cast<std::int64_t>(anchor), unzigzag(*raw),
-                                 &addr)) {
-        throw CorruptDelta("vcdiff: address overflow");
-      }
-    }
-    if (addr < 0) throw CorruptDelta("vcdiff: negative address");
-    return static_cast<std::size_t>(addr);
-  }
-
-  void update(std::size_t addr, std::size_t len) {
-    predicted_ = addr + len;
-    near_[next_slot_] = addr;
-    next_slot_ = (next_slot_ + 1) % near_.size();
-  }
-
- private:
-  std::vector<std::size_t> near_;
-  std::size_t next_slot_ = 0;
-  std::size_t predicted_ = 0;
-};
 
 /// Hash-chain index over the base (same structure as the native encoder).
 class Matcher {
@@ -170,64 +81,8 @@ void put_u32le(util::Bytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-std::uint32_t get_u32le(util::BytesView in, std::size_t& pos) {
-  if (pos + 4 > in.size()) throw CorruptDelta("vcdiff: truncated header");
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
-  return v;
-}
-
-struct Sections {
-  VcdiffInfo info;
-  std::size_t near_slots = 4;
-  util::BytesView data;
-  util::BytesView inst;
-  util::BytesView addr;
-};
-
-Sections parse_container(util::BytesView delta) {
-  std::size_t pos = 0;
-  if (delta.size() < 4 || util::as_string_view(delta.subspan(0, 4)) != "VCD1") {
-    throw CorruptDelta("vcdiff: bad magic");
-  }
-  pos = 4;
-  Sections s;
-  const auto base_size = util::get_uvarint(delta, pos);
-  const auto target_size = util::get_uvarint(delta, pos);
-  if (!base_size || !target_size) throw CorruptDelta("vcdiff: bad sizes");
-  if (*base_size > kMaxDecodeTargetSize || *target_size > kMaxDecodeTargetSize) {
-    throw CorruptDelta("vcdiff: claimed size exceeds decode cap");
-  }
-  s.info.base_size = static_cast<std::size_t>(*base_size);
-  s.info.target_size = static_cast<std::size_t>(*target_size);
-  s.info.base_crc = get_u32le(delta, pos);
-  s.info.target_crc = get_u32le(delta, pos);
-  if (pos >= delta.size()) throw CorruptDelta("vcdiff: truncated header");
-  s.near_slots = delta[pos++];
-  if (s.near_slots < 1 || s.near_slots > 16) throw CorruptDelta("vcdiff: bad near size");
-  const auto data_len = util::get_uvarint(delta, pos);
-  const auto inst_len = util::get_uvarint(delta, pos);
-  const auto addr_len = util::get_uvarint(delta, pos);
-  if (!data_len || !inst_len || !addr_len) throw CorruptDelta("vcdiff: bad section sizes");
-  // Account for the sections by subtracting from the remaining byte count —
-  // attacker-chosen section lengths can wrap a naive pos + a + b + c sum.
-  std::size_t remaining = delta.size() - pos;
-  if (*data_len > remaining) throw CorruptDelta("vcdiff: data section too large");
-  remaining -= static_cast<std::size_t>(*data_len);
-  if (*inst_len > remaining) throw CorruptDelta("vcdiff: inst section too large");
-  remaining -= static_cast<std::size_t>(*inst_len);
-  if (*addr_len != remaining) {
-    throw CorruptDelta("vcdiff: section sizes do not match container");
-  }
-  s.info.data_section = static_cast<std::size_t>(*data_len);
-  s.info.inst_section = static_cast<std::size_t>(*inst_len);
-  s.info.addr_section = static_cast<std::size_t>(*addr_len);
-  s.data = delta.subspan(pos, s.info.data_section);
-  s.inst = delta.subspan(pos + s.info.data_section, s.info.inst_section);
-  s.addr = delta.subspan(pos + s.info.data_section + s.info.inst_section,
-                         s.info.addr_section);
-  return s;
-}
+using vcdiff_detail::parse_container;
+using vcdiff_detail::Sections;
 
 }  // namespace
 

@@ -124,6 +124,31 @@ TEST(ConfigLoader, DeltaParamsParsed) {
   EXPECT_EQ(config.server.transmit_params.min_match, 24u);
 }
 
+TEST(ConfigLoader, DeltaCodecSelection) {
+  using Codec = delta::DeltaParams::Codec;
+  EXPECT_EQ(parse("[delta-server]\n").server.transmit_params.codec,
+            Codec::kHashChain);  // default unchanged
+  EXPECT_EQ(parse("[delta-server]\ndelta-codec = hash-chain\n")
+                .server.transmit_params.codec,
+            Codec::kHashChain);
+
+  const auto one = parse("[delta-server]\ndelta-codec = one-pass\n");
+  EXPECT_EQ(one.server.transmit_params.codec, Codec::kOnePass);
+  EXPECT_EQ(one.server.transmit_params.key_len, 16u);  // preset loaded
+
+  const auto corr = parse("[delta-server]\ndelta-codec = correcting\n");
+  EXPECT_EQ(corr.server.transmit_params.codec, Codec::kCorrecting);
+  EXPECT_TRUE(corr.server.transmit_params.backward_extend);
+
+  // Selecting a codec loads its preset; later delta-* lines still override.
+  const auto tuned = parse(
+      "[delta-server]\ndelta-codec = one-pass\ndelta-key-len = 8\n");
+  EXPECT_EQ(tuned.server.transmit_params.codec, Codec::kOnePass);
+  EXPECT_EQ(tuned.server.transmit_params.key_len, 8u);
+
+  EXPECT_THROW(parse("[delta-server]\ndelta-codec = vdelta\n"), ConfigError);
+}
+
 TEST(ConfigLoader, DeltaParamsRangeGuardedAtLoadTime) {
   // Out-of-range delta params must surface as typed ConfigErrors when the
   // config loads, not as precondition failures mid-request.

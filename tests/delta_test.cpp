@@ -396,6 +396,137 @@ TEST(Delta, TemporalSnapshotsProduceSmallDeltas) {
   EXPECT_LT(result.delta.size() * 5, snap2.size());
 }
 
+// ------------------------------------------- golden self-reference semantics
+//
+// The CBD1 superstring convention (COPY addresses >= base_size read the
+// target's own already-decoded prefix, overlapping spans decode byte-wise
+// forward) is load-bearing for three consumers: apply_into's bulk-memcpy
+// fast path, the delta-IR lifter, and the in-place executor. These goldens
+// pin the semantics against a byte-at-a-time reference decoder so a future
+// "optimization" of any bulk path cannot silently change them.
+
+/// COPY/ADD spec for hand-assembling a CBD1 stream.
+struct GoldenInst {
+  bool is_copy = false;
+  std::size_t addr = 0;  // wire address (superstring convention)
+  std::string literal;   // ADD payload
+  std::size_t len = 0;   // COPY length
+};
+
+/// The reference decoder: strictly byte-at-a-time, no bulk copies at all.
+Bytes reference_decode(util::BytesView base, const std::vector<GoldenInst>& insts) {
+  Bytes out;
+  for (const GoldenInst& inst : insts) {
+    if (!inst.is_copy) {
+      for (const char c : inst.literal) out.push_back(static_cast<std::uint8_t>(c));
+    } else if (inst.addr >= base.size()) {
+      const std::size_t taddr = inst.addr - base.size();
+      for (std::size_t i = 0; i < inst.len; ++i) out.push_back(out[taddr + i]);
+    } else {
+      for (std::size_t i = 0; i < inst.len; ++i) out.push_back(base[inst.addr + i]);
+    }
+  }
+  return out;
+}
+
+Bytes assemble_cbd1(util::BytesView base, const std::vector<GoldenInst>& insts,
+                    const Bytes& target) {
+  Bytes delta;
+  util::append(delta, std::string_view("CBD1"));
+  util::put_uvarint(delta, base.size());
+  util::put_uvarint(delta, target.size());
+  const std::uint32_t base_crc = util::crc32(base);
+  const std::uint32_t target_crc = util::crc32(as_view(target));
+  for (int i = 0; i < 4; ++i) delta.push_back(static_cast<std::uint8_t>(base_crc >> (8 * i)));
+  for (int i = 0; i < 4; ++i) {
+    delta.push_back(static_cast<std::uint8_t>(target_crc >> (8 * i)));
+  }
+  for (const GoldenInst& inst : insts) {
+    if (inst.is_copy) {
+      util::put_uvarint(delta, (inst.len << 1) | 1);
+      util::put_uvarint(delta, inst.addr);
+    } else {
+      util::put_uvarint(delta, inst.literal.size() << 1);
+      util::append(delta, std::string_view(inst.literal));
+    }
+  }
+  return delta;
+}
+
+void expect_golden(util::BytesView base, const std::vector<GoldenInst>& insts,
+                   const std::string& expected) {
+  const Bytes target = reference_decode(base, insts);
+  ASSERT_EQ(util::as_string_view(as_view(target)), expected);
+  const Bytes delta = assemble_cbd1(base, insts, target);
+  Bytes out;
+  apply_into(base, as_view(delta), out);  // the bulk path under test
+  EXPECT_EQ(out, target);
+}
+
+TEST(Delta, GoldenSelfCopyAtExactBaseBoundary) {
+  // addr == base_size is the first superstring address: target offset 0.
+  // One below it is the last base byte. The two must not alias.
+  const Bytes base = to_bytes("ABCDEFGH");
+  expect_golden(as_view(base),
+                {GoldenInst{false, 0, "xy", 0},
+                 GoldenInst{true, 8, "", 2},    // superstring: target[0, 2) = "xy"
+                 GoldenInst{true, 7, "", 1}},   // base: base[7] = "H"
+                "xyxyH");
+}
+
+TEST(Delta, GoldenOverlappingSelfCopyActsAsRunGenerator) {
+  // len far beyond the decode frontier: each byte reads one the same COPY
+  // just produced (the run-like convention the bulk path must reproduce by
+  // splitting at the frontier).
+  const Bytes base = to_bytes("ABCDEFGH");
+  expect_golden(as_view(base), {GoldenInst{false, 0, "ab", 0}, GoldenInst{true, 8, "", 10}},
+                "abababababab");  // 2 seed + 10 amplified bytes
+  // Period-1: single seeded byte amplified.
+  expect_golden(as_view(base), {GoldenInst{false, 0, "q", 0}, GoldenInst{true, 8, "", 7}},
+                "qqqqqqqq");
+}
+
+TEST(Delta, GoldenNonOverlappingSelfCopyUsesDecodedPrefix) {
+  const Bytes base = to_bytes("ABCDEFGH");
+  expect_golden(as_view(base),
+                {GoldenInst{false, 0, "hello ", 0},
+                 GoldenInst{true, 8, "", 5},  // "hello" again, fully decoded
+                 GoldenInst{true, 0, "", 3}}, // then base "ABC"
+                "hello helloABC");
+}
+
+TEST(Delta, GoldenMixedBaseAndSelfCopiesMatchReference) {
+  // A denser program mixing every addressing flavour; compared wholesale
+  // against the byte-at-a-time reference rather than a pinned literal.
+  const Bytes base = to_bytes("The quick brown fox jumps over the lazy dog");
+  const std::vector<GoldenInst> insts = {
+      GoldenInst{true, 4, "", 6},                 // "quick "
+      GoldenInst{false, 0, "--", 0},              //
+      GoldenInst{true, base.size() + 0, "", 8},   // self: copies "quick --"
+      GoldenInst{true, base.size() + 2, "", 20},  // overlapping self-run
+      GoldenInst{true, 35, "", 8},                // "lazy dog"
+  };
+  const Bytes target = reference_decode(as_view(base), insts);
+  const Bytes delta = assemble_cbd1(as_view(base), insts, target);
+  Bytes out;
+  apply_into(as_view(base), as_view(delta), out);
+  EXPECT_EQ(out, target);
+  EXPECT_EQ(apply(as_view(base), as_view(delta)), target);
+}
+
+TEST(Delta, GoldenSelfCopyPastFrontierRejected) {
+  // A self-copy may start at most at the frontier; one past it reads a byte
+  // that does not exist yet in any decode order.
+  const Bytes base = to_bytes("ABCDEFGH");
+  const std::vector<GoldenInst> insts = {GoldenInst{false, 0, "xy", 0},
+                                         GoldenInst{true, 8 + 2, "", 3}};
+  Bytes forged;  // target claim is arbitrary: decode must fail before checksum
+  forged.assign(5, 'z');
+  const Bytes delta = assemble_cbd1(as_view(base), insts, forged);
+  Bytes out;
+  EXPECT_THROW(apply_into(as_view(base), as_view(delta), out), CorruptDelta);
+}
+
 TEST(Delta, SpatialNeighborsProduceModerateDeltas) {
   // Different documents of one category share the template skeleton: the
   // delta should be far smaller than the document but larger than the

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "delta/delta.hpp"
+#include "delta/ir.hpp"
+#include "delta/rolling.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace cbde::delta {
+namespace {
+
+using util::Bytes;
+using util::as_view;
+using util::to_bytes;
+
+Bytes random_bytes(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+std::pair<Bytes, Bytes> template_pair(std::uint64_t seed) {
+  const Bytes block_a = random_bytes(seed, 1200);
+  const Bytes block_b = random_bytes(seed + 1, 1500);
+  Bytes base;
+  util::append(base, as_view(block_a));
+  util::append(base, as_view(block_b));
+  Bytes target;
+  util::append(target, random_bytes(seed + 2, 200));
+  util::append(target, as_view(block_a));
+  util::append(target, random_bytes(seed + 3, 100));
+  util::append(target, as_view(block_b));
+  return {std::move(base), std::move(target)};
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Rolling, OnePassRoundTrips) {
+  const auto [base, target] = template_pair(7);
+  const auto result = encode(as_view(base), as_view(target), DeltaParams::one_pass());
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+  EXPECT_EQ(result.copy_bytes + result.add_bytes, target.size());
+  // The two shared blocks dominate: most target bytes must arrive as COPY.
+  EXPECT_GT(result.copy_bytes, target.size() / 2);
+  EXPECT_LT(result.delta.size(), target.size() / 2);
+}
+
+TEST(Rolling, CorrectingRoundTrips) {
+  const auto [base, target] = template_pair(8);
+  const auto result = encode(as_view(base), as_view(target), DeltaParams::correcting());
+  EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target);
+  EXPECT_GT(result.copy_bytes, target.size() / 2);
+}
+
+TEST(Rolling, EmptyAndTinyInputs) {
+  const Bytes base = to_bytes("base content beyond one window.");
+  for (const auto& params : {DeltaParams::one_pass(), DeltaParams::correcting()}) {
+    const auto r1 = encode(as_view(base), {}, params);
+    EXPECT_TRUE(apply(as_view(base), as_view(r1.delta)).empty());
+
+    const Bytes tiny = to_bytes("x");  // below the rolling window
+    const auto r2 = encode(as_view(base), as_view(tiny), params);
+    EXPECT_EQ(apply(as_view(base), as_view(r2.delta)), tiny);
+    EXPECT_EQ(r2.copy_bytes, 0u);
+
+    const auto r3 = encode({}, as_view(base), params);  // empty base
+    EXPECT_EQ(apply({}, as_view(r3.delta)), base);
+    EXPECT_EQ(r3.copy_bytes, 0u);
+  }
+}
+
+TEST(Rolling, RandomPairsRoundTripAcrossBothCodecs) {
+  // Block-shuffled inputs with small blocks: exercises seed misses, matches
+  // at every alignment, and the correcting codec's retro-correction paths.
+  for (std::uint64_t seed = 40; seed < 60; ++seed) {
+    util::Rng rng(seed);
+    Bytes base;
+    std::vector<Bytes> blocks;
+    for (int b = 0; b < 12; ++b) {
+      blocks.push_back(random_bytes(seed * 100 + b, 40 + rng.next_below(200)));
+      util::append(base, as_view(blocks.back()));
+    }
+    Bytes target;
+    for (int b = 0; b < 16; ++b) {
+      if (rng.next_below(3) == 0) {
+        util::append(target, as_view(random_bytes(seed * 999 + b, 30 + rng.next_below(60))));
+      } else {
+        util::append(target, as_view(blocks[rng.next_below(blocks.size())]));
+      }
+    }
+    for (const auto& params : {DeltaParams::one_pass(), DeltaParams::correcting()}) {
+      const auto result = encode(as_view(base), as_view(target), params);
+      EXPECT_EQ(apply(as_view(base), as_view(result.delta)), target) << "seed " << seed;
+    }
+  }
+}
+
+// -------------------------------------------------- correcting vs one-pass
+
+TEST(Rolling, CorrectingExtendsMatchesBackwards) {
+  // base = S ++ R ++ S ++ T, with S shorter than min_match. First-come-wins
+  // keeps the *first* S for every S-window fingerprint, and S-seeds there
+  // extend into R, never reaching min_match. One-pass therefore only locks
+  // on at T and emits the S bytes of the target as literals; correcting
+  // back-extends the T match across the second S occurrence.
+  const Bytes s = random_bytes(70, 24);
+  const Bytes r = random_bytes(71, 3000);
+  const Bytes t = random_bytes(72, 3000);
+  Bytes base;
+  util::append(base, as_view(s));
+  util::append(base, as_view(r));
+  util::append(base, as_view(s));
+  util::append(base, as_view(t));
+  Bytes target;
+  util::append(target, random_bytes(73, 50));
+  util::append(target, as_view(s));
+  util::append(target, as_view(t));
+
+  const auto one = encode(as_view(base), as_view(target), DeltaParams::one_pass());
+  const auto corr = encode(as_view(base), as_view(target), DeltaParams::correcting());
+  EXPECT_EQ(apply(as_view(base), as_view(one.delta)), target);
+  EXPECT_EQ(apply(as_view(base), as_view(corr.delta)), target);
+  // Correcting recovers every S byte as COPY: only the junk prefix stays
+  // literal. One-pass first locks on somewhere past the S start (the exact
+  // point depends on which S/T-straddling window fingerprints first) and
+  // leaves the uncovered S head as literals.
+  EXPECT_EQ(corr.add_bytes, 50u);
+  EXPECT_GT(one.add_bytes, corr.add_bytes);
+  EXPECT_LT(corr.delta.size(), one.delta.size());
+}
+
+TEST(Rolling, CorrectingTrimsAlreadyEmittedInstructions) {
+  // base = V ++ R ++ V ++ T. One-pass emits copy(V@0) then copy(T): two
+  // instructions. The correcting codec, on reaching T, back-extends through
+  // the *second* V occurrence and replaces the already-emitted first copy
+  // with one contiguous copy — the retro-correction of emitted commands.
+  const Bytes v = random_bytes(80, 64);
+  const Bytes r = random_bytes(81, 3000);
+  const Bytes t = random_bytes(82, 3000);
+  Bytes base;
+  util::append(base, as_view(v));
+  util::append(base, as_view(r));
+  util::append(base, as_view(v));
+  util::append(base, as_view(t));
+  Bytes target;
+  util::append(target, as_view(v));
+  util::append(target, as_view(t));
+
+  const auto one = encode(as_view(base), as_view(target), DeltaParams::one_pass());
+  const auto corr = encode(as_view(base), as_view(target), DeltaParams::correcting());
+  EXPECT_EQ(apply(as_view(base), as_view(one.delta)), target);
+  EXPECT_EQ(apply(as_view(base), as_view(corr.delta)), target);
+  EXPECT_EQ(lift(as_view(one.delta)).insts.size(), 2u);
+  EXPECT_EQ(lift(as_view(corr.delta)).insts.size(), 1u);  // one merged copy
+  EXPECT_LT(corr.delta.size(), one.delta.size());
+}
+
+// ----------------------------------------------------------- infrastructure
+
+TEST(Rolling, EncodeSizeMatchesEncode) {
+  const auto [base, target] = template_pair(9);
+  for (const auto& params : {DeltaParams::one_pass(), DeltaParams::correcting()}) {
+    EXPECT_EQ(estimate_delta_size(as_view(base), as_view(target), params),
+              encode(as_view(base), as_view(target), params).delta.size());
+  }
+}
+
+TEST(Rolling, EncoderClassMatchesFreeFunction) {
+  const auto [base, target] = template_pair(10);
+  for (const auto& params : {DeltaParams::one_pass(), DeltaParams::correcting()}) {
+    const Encoder enc(base, params);
+    const auto via_class = enc.encode(as_view(target));
+    const auto via_free = encode(as_view(base), as_view(target), params);
+    EXPECT_EQ(via_class.delta, via_free.delta);
+    EXPECT_EQ(via_class.copy_bytes, via_free.copy_bytes);
+    EXPECT_EQ(enc.encode_size(as_view(target)), via_free.delta.size());
+  }
+}
+
+TEST(Rolling, ChunkUsageReportedForAnonymization) {
+  const auto [base, target] = template_pair(12);
+  const auto result = encode(as_view(base), as_view(target), DeltaParams::one_pass());
+  std::size_t used = 0;
+  for (const bool u : result.chunk_used) used += u ? 1 : 0;
+  // Both shared blocks were copied, so most base chunks are marked.
+  EXPECT_GT(used, result.chunk_used.size() / 2);
+}
+
+TEST(Rolling, DeltaSizeWithinFactorOfHashChain) {
+  // The pinned quality floor the CI bench-smoke also asserts: the O(1)-state
+  // one-pass codec may lose to the full hash-chain index, but not by more
+  // than 3x on a template-heavy workload.
+  const auto [base, target] = template_pair(13);
+  const auto chain = encode(as_view(base), as_view(target), DeltaParams::full());
+  const auto one = encode(as_view(base), as_view(target), DeltaParams::one_pass());
+  EXPECT_LE(one.delta.size(), 3 * chain.delta.size());
+}
+
+TEST(Rolling, FootprintTableProbeContract) {
+  const Bytes base = random_bytes(14, 4096);
+  const rolling::FootprintTable table(as_view(base), 16);
+  EXPECT_EQ(table.window(), 16u);
+  // A window too short for the table yields only misses.
+  const rolling::FootprintTable empty(as_view(to_bytes("short")), 16);
+  EXPECT_EQ(empty.probe(12345), rolling::FootprintTable::npos);
+}
+
+TEST(Rolling, WireFormatIsPlainCbd1) {
+  const auto [base, target] = template_pair(15);
+  for (const auto& params : {DeltaParams::one_pass(), DeltaParams::correcting()}) {
+    const auto result = encode(as_view(base), as_view(target), params);
+    EXPECT_EQ(detect_format(as_view(result.delta)), DeltaFormat::kCbd1);
+    const DeltaInfo info = inspect(as_view(result.delta));
+    EXPECT_EQ(info.base_size, base.size());
+    EXPECT_EQ(info.target_size, target.size());
+    EXPECT_EQ(info.base_crc, util::crc32(as_view(base)));
+    EXPECT_EQ(info.target_crc, util::crc32(as_view(target)));
+  }
+}
+
+}  // namespace
+}  // namespace cbde::delta

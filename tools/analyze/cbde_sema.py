@@ -814,6 +814,11 @@ REPO_ENTRY_POINTS = [
     ("src/delta/delta.cpp", "apply"),
     ("src/delta/vcdiff.cpp", "vcdiff_apply"),
     ("src/delta/vcdiff.cpp", "vcdiff_encode"),
+    ("src/delta/ir.cpp", "lift"),
+    ("src/delta/ir.cpp", "execute"),
+    ("src/delta/inplace.cpp", "verify_in_place"),
+    ("src/delta/inplace.cpp", "transform_in_place"),
+    ("src/delta/inplace.cpp", "apply_in_place"),
     ("src/compress/compressor.cpp", "compress"),
     ("src/compress/compressor.cpp", "decompress"),
     ("src/http/message.cpp", "HttpRequest::parse"),

@@ -94,6 +94,10 @@ FUZZ_REQUIRED = {
     "delta::inspect": "cbd1",
     "delta::vcdiff_apply": "vcdiff",
     "delta::vcdiff_inspect": "vcdiff",
+    "delta::apply_in_place": "inplace",
+    "delta::verify_in_place": "inplace",
+    "delta::transform_in_place": "inplace",
+    "delta::lift": "inplace",
     "compress::decompress": "compress",
     "compress::decompress_into": "compress",
     "http::HttpRequest::parse": "http",

@@ -34,6 +34,10 @@ creeping past its budget) without flaking on slower CI hosts:
                           overhead measurement (proves the recorder thread
                           ran while the gate number was taken)
     lock_wait_share_max   mean share over the end-to-end windows
+    speedup_4v1_min       end-to-end 4-worker vs 1-worker speedup floor;
+                          skipped with a notice when the artifact's
+                          config.hardware_concurrency is 1 (a single-core
+                          host measures pool overhead, not parallelism)
 
 Usage:
   perf_gate.py --baseline FILE [--capacity BENCH_capacity.json]
@@ -129,6 +133,20 @@ def gate_delta(doc: dict, bands: dict, findings: list[str]) -> None:
                 f"delta: recorder closed {obs.get('recorder_windows', 0)} "
                 f"window(s) during the overhead loop, need >= "
                 f"{bands['recorder_min_windows']}")
+    if "speedup_4v1_min" in bands:
+        cores = int(doc.get("config", {}).get("hardware_concurrency", 0))
+        speedup = doc.get("end_to_end", {}).get("speedup_4v1")
+        if speedup is None:
+            findings.append("delta: end_to_end.speedup_4v1 missing")
+        elif cores == 1:
+            print(f"perf_gate: NOTICE delta speedup band skipped -- "
+                  f"hardware_concurrency is 1, so speedup_4v1 ({speedup:.2f}x) "
+                  "measures worker-pool overhead, not parallelism")
+        elif speedup < bands["speedup_4v1_min"]:
+            findings.append(
+                f"delta: speedup_4v1 {speedup:.2f}x < band "
+                f"{bands['speedup_4v1_min']}x on a {cores}-core host "
+                "(the worker pool stopped scaling)")
     windows = doc.get("time_series")
     if not isinstance(windows, list):
         findings.append("delta: missing time_series section")
